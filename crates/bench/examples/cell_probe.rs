@@ -1,0 +1,25 @@
+//! Developer probe: per-dataset c-map effect on one workload cell.
+//!
+//! Prints cycles, NoC traffic, DRAM and SIU/c-map activity with and
+//! without the c-map for SL-4cycle on three stand-ins — the quick check
+//! used while calibrating the Fig. 14 shapes.
+
+use fm_bench::datasets::{dataset, DatasetKey};
+use fm_bench::workloads::{workload, WorkloadKey};
+use fm_sim::{simulate, SimConfig};
+
+fn main() {
+    for (dk, wk) in [(DatasetKey::Pa, WorkloadKey::Sl4Cycle), (DatasetKey::As, WorkloadKey::Sl4Cycle), (DatasetKey::Mi, WorkloadKey::Sl4Cycle)] {
+        let d = dataset(dk, false);
+        let g = &d.graph;
+        println!("{:?} |V|={} |E|={} bytes={}KB", dk, g.num_vertices(), g.num_undirected_edges(), g.num_directed_edges()*4/1024);
+        let plan = workload(wk).plan();
+        for bytes in [0usize, 8*1024] {
+            let cfg = SimConfig { num_pes: 20, cmap_bytes: bytes, ..Default::default() };
+            let t = std::time::Instant::now();
+            let r = simulate(g, &plan, &cfg);
+            println!("  cmap={bytes:>6} cycles={:>12} noc={:>10} dram={:>9} l1miss={:>10} siu={:>12} cmapR={} wall={:?}",
+                r.cycles, r.noc_traffic(), r.dram_accesses, r.totals.l1_misses, r.totals.siu_cycles, r.totals.cmap_reads, t.elapsed());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Developer probe: PE-scaling bottleneck analysis for one cell.
+//!
+//! Prints per-PE finish-time spread (load imbalance) next to aggregate
+//! busy cycles and traffic — the quick check used while calibrating the
+//! Fig. 15 shapes.
+
+use fm_bench::datasets::{dataset, DatasetKey};
+use fm_bench::workloads::{workload, WorkloadKey};
+use fm_sim::{simulate, SimConfig};
+
+fn main() {
+    let d = dataset(DatasetKey::As, false);
+    let plan = workload(WorkloadKey::Sl4Cycle).plan();
+    for pes in [1usize, 8, 64] {
+        let cfg = SimConfig { num_pes: pes, ..Default::default() };
+        let r = simulate(&d.graph, &plan, &cfg);
+        println!("pes={pes:>2} cycles={:>11} imb={:.2} busy_total={:>12} noc={} l1miss={} dram={} max_finish={} min_finish={}",
+            r.cycles, r.imbalance(), r.totals.busy_cycles, r.noc_traffic(), r.totals.l1_misses, r.dram_accesses,
+            r.pe_finish_cycles.iter().max().unwrap(), r.pe_finish_cycles.iter().min().unwrap());
+    }
+}

@@ -1,0 +1,77 @@
+//! c-map design-space ablation (beyond the paper's size sweep).
+//!
+//! DESIGN.md experiment A2: sweep the §VI-A hardware parameters — bank
+//! count, occupancy threshold and value width — on a c-map-heavy workload
+//! (4-cycle) and confirm the design points the paper chose: banking keeps
+//! probes at one cycle; pushing occupancy past ~75% degrades access
+//! latency; a narrow value width forces deep-level fallbacks.
+
+use fm_bench::datasets::{dataset, DatasetKey};
+use fm_bench::harness::{fmt_x, BenchArgs, Table};
+use fm_bench::workloads::{workload, WorkloadKey};
+use fm_pattern::Pattern;
+use fm_plan::{compile, CompileOptions};
+use fm_sim::{simulate, SimConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let d = dataset(DatasetKey::Mi, args.quick);
+    let w = workload(WorkloadKey::Sl4Cycle);
+    let plan = w.plan();
+    let base_cfg = SimConfig { num_pes: 20, ..Default::default() };
+    let base = simulate(&d.graph, &plan, &base_cfg);
+
+    let mut table = Table::new(
+        "ablation_cmap",
+        "c-map design ablation on SL-4cycle/Mi (relative to the default 4-bank, 75%, 8-bit design)",
+        &["variant", "cycles", "vs-default", "cmap-overflows"],
+    );
+    table.push(vec![
+        "default (4 banks, 75%, 8-bit)".into(),
+        base.cycles.to_string(),
+        fmt_x(1.0),
+        base.totals.cmap_overflows.to_string(),
+    ]);
+    let mut run = |name: &str, cfg: SimConfig| {
+        let r = simulate(&d.graph, &plan, &cfg);
+        assert_eq!(r.counts, base.counts, "{name}");
+        table.push(vec![
+            name.to_string(),
+            r.cycles.to_string(),
+            fmt_x(base.cycles as f64 / r.cycles as f64),
+            r.totals.cmap_overflows.to_string(),
+        ]);
+    };
+    for banks in [1usize, 2, 8] {
+        run(&format!("{banks} bank(s)"), SimConfig { cmap_banks: banks, ..base_cfg });
+    }
+    for threshold in [0.5f64, 0.9, 0.99] {
+        run(
+            &format!("occupancy threshold {threshold}"),
+            SimConfig { cmap_occupancy_threshold: threshold, ..base_cfg },
+        );
+    }
+    // Narrow value width on a deep pattern: with frontier memoization
+    // disabled, a 6-clique probes connectivity up to level 4, so a 3-bit
+    // value forces deep-level SIU fallbacks (§VII-D's partial-c-map rule).
+    let deep = compile(&Pattern::k_clique(6), CompileOptions::default());
+    let no_memo = SimConfig { frontier_memo: false, ..base_cfg };
+    let deep_default = simulate(&d.graph, &deep, &no_memo);
+    let deep_narrow =
+        simulate(&d.graph, &deep, &SimConfig { cmap_value_bits: 3, ..no_memo });
+    assert_eq!(deep_default.counts, deep_narrow.counts);
+    table.push(vec![
+        "6-CL, 8-bit value (default)".into(),
+        deep_default.cycles.to_string(),
+        fmt_x(1.0),
+        deep_default.totals.cmap_overflows.to_string(),
+    ]);
+    table.push(vec![
+        "6-CL, 3-bit value".into(),
+        deep_narrow.cycles.to_string(),
+        fmt_x(deep_default.cycles as f64 / deep_narrow.cycles as f64),
+        deep_narrow.totals.cmap_overflows.to_string(),
+    ]);
+    table.note("expected: fewer banks -> slower probes under load; looser thresholds risk long probe chains; narrow values force fallbacks on deep levels (§VII-D)");
+    table.emit(&args.out).expect("write ablation_cmap");
+}

@@ -1,0 +1,76 @@
+//! Fig. 14: performance impact of the c-map size (20 PEs).
+//!
+//! The paper sweeps the c-map from 1 kB to 16 kB plus an impractical
+//! unlimited configuration, all normalized to no-c-map. Shape targets:
+//! 4-cycle benefits most (no frontier reuse exists, so memoized
+//! connectivity is pure win — up to 5.3×, average 3.0×); k-CL and diamond
+//! benefit little (frontier memoization already removed the redundancy);
+//! a 4 kB map captures most of the unlimited benefit; the dense Mi gets
+//! consistently good speedups.
+
+use fm_bench::datasets::dataset;
+use fm_bench::harness::{fmt_x, geomean, BenchArgs, Table};
+use fm_bench::workloads::{workload, WorkloadKey};
+use fm_sim::{simulate, SimConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sizes: [(usize, &str); 5] = [
+        (1024, "1kB"),
+        (4 * 1024, "4kB"),
+        (8 * 1024, "8kB"),
+        (16 * 1024, "16kB"),
+        (usize::MAX, "unlimited"),
+    ];
+    let mut headers = vec!["app".to_string(), "graph".to_string()];
+    headers.extend(sizes.iter().map(|(_, n)| n.to_string()));
+    headers.push("read-ratio@8kB".to_string());
+    let mut table = Table::new(
+        "fig14",
+        "c-map speedup over no-c-map (20 PEs)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    let mut four_cycle: Vec<f64> = Vec::new();
+    for wk in WorkloadKey::all() {
+        let w = workload(wk);
+        let plan = w.plan();
+        for key in wk.fig14_datasets() {
+            let d = dataset(key, args.quick);
+            let no_cmap = simulate(
+                &d.graph,
+                &plan,
+                &SimConfig { num_pes: 20, cmap_bytes: 0, ..Default::default() },
+            );
+            let mut row = vec![wk.label().to_string(), key.label().to_string()];
+            let mut read_ratio = 0.0;
+            for (i, &(bytes, _)) in sizes.iter().enumerate() {
+                let cfg = SimConfig { num_pes: 20, cmap_bytes: bytes, ..Default::default() };
+                let report = simulate(&d.graph, &plan, &cfg);
+                assert_eq!(report.counts, no_cmap.counts, "c-map must not change counts");
+                let x = no_cmap.cycles as f64 / report.cycles as f64;
+                per_size[i].push(x);
+                if wk == WorkloadKey::Sl4Cycle {
+                    if bytes == usize::MAX {
+                        four_cycle.push(x);
+                    }
+                }
+                if bytes == 8 * 1024 {
+                    read_ratio = report.cmap_read_ratio();
+                }
+                row.push(fmt_x(x));
+            }
+            row.push(format!("{:.0}%", 100.0 * read_ratio));
+            table.push(row);
+        }
+    }
+    for (i, &(_, name)) in sizes.iter().enumerate() {
+        table.note(format!("{name} geomean over no-cmap: {}", fmt_x(geomean(&per_size[i]))));
+    }
+    table.note(format!(
+        "4-cycle unlimited-c-map geomean: {} (paper: 3.0x average, up to 5.3x)",
+        fmt_x(geomean(&four_cycle))
+    ));
+    table.note("paper read ratios for 4-cycle: 93% (As), 98% (mico), 86% (Pa)");
+    table.emit(&args.out).expect("write fig14");
+}

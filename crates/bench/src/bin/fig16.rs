@@ -1,0 +1,69 @@
+//! Fig. 16: NoC traffic and DRAM accesses vs c-map size (20 PEs).
+//!
+//! Shape targets from the paper: the c-map significantly reduces NoC
+//! traffic (PE→L2 memory requests) for TC, 4-cycle and diamond — "4kB
+//! c-map reduces nearly half of the NoC traffic for 4-cycle on As" —
+//! while k-CL traffic stays flat because the frontier list already
+//! removed the same requests.
+
+use fm_bench::datasets::dataset;
+use fm_bench::datasets::DatasetKey;
+use fm_bench::harness::{BenchArgs, Table};
+use fm_bench::workloads::{workload, WorkloadKey};
+use fm_sim::{simulate, SimConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sizes: [(usize, &str); 3] = [(0, "no-cmap"), (4 * 1024, "4kB"), (8 * 1024, "8kB")];
+    let mut table = Table::new(
+        "fig16",
+        "NoC traffic (PE memory requests) and DRAM accesses vs c-map size (20 PEs)",
+        &[
+            "app", "graph", "noc@none", "noc@4kB", "noc@8kB", "noc-ratio@4kB", "dram@none",
+            "dram@4kB", "dram@8kB",
+        ],
+    );
+    let apps =
+        [WorkloadKey::Tc, WorkloadKey::Sl4Cycle, WorkloadKey::SlDiamond, WorkloadKey::Cl4];
+    let graphs = [DatasetKey::As, DatasetKey::Mi, DatasetKey::Pa];
+    // Two private-cache regimes: the paper's 32 kB L1 (where our ~100x
+    // scaled-down graphs leave the redundant edge-list re-fetches L1-hot),
+    // and an L1 scaled down with the graphs (2 kB), which restores the
+    // paper's regime of baseline re-fetch traffic.
+    for (l1_bytes, regime) in [(32 * 1024usize, "32kB-L1"), (2 * 1024, "2kB-L1")] {
+        for wk in apps {
+            let w = workload(wk);
+            let plan = w.plan();
+            for key in graphs {
+                let d = dataset(key, args.quick);
+                let mut noc = Vec::new();
+                let mut dram = Vec::new();
+                for &(bytes, _) in &sizes {
+                    let cfg = SimConfig {
+                        num_pes: 20,
+                        cmap_bytes: bytes,
+                        l1_bytes,
+                        ..Default::default()
+                    };
+                    let report = simulate(&d.graph, &plan, &cfg);
+                    noc.push(report.noc_traffic());
+                    dram.push(report.dram_accesses);
+                }
+                table.push(vec![
+                    format!("{} [{regime}]", wk.label()),
+                    key.label().to_string(),
+                    noc[0].to_string(),
+                    noc[1].to_string(),
+                    noc[2].to_string(),
+                    format!("{:.2}", noc[1] as f64 / noc[0] as f64),
+                    dram[0].to_string(),
+                    dram[1].to_string(),
+                    dram[2].to_string(),
+                ]);
+            }
+        }
+    }
+    table.note("paper shape: c-map cuts NoC traffic for TC / 4-cycle / diamond (≈0.5x for 4-cycle on As at 4kB); 4-CL traffic unchanged (frontier lists already removed those requests)");
+    table.note("the 2kB-L1 rows scale the private cache with the ~100x-scaled graphs; at the paper-sized 32kB L1 our small inputs keep re-fetches cache-resident and the NoC effect vanishes");
+    table.emit(&args.out).expect("write fig16");
+}

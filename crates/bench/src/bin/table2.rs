@@ -1,0 +1,89 @@
+//! Table II: baseline-system comparison.
+//!
+//! The paper compares Gramer (pattern-oblivious FPGA accelerator),
+//! AutoMine (pattern-aware, no symmetry breaking) and GraphZero
+//! (pattern-aware + symmetry breaking), finding GraphZero fastest almost
+//! everywhere with an average 8.3× advantage over Gramer — the
+//! justification for choosing GraphZero as the CPU baseline.
+//!
+//! We reproduce the *algorithmic* comparison on identical hardware: the
+//! ESU+isomorphism-test engine models Gramer's search strategy, and the
+//! plan engine runs in AutoMine mode (no symmetry order) and GraphZero
+//! mode. 5-CL is skipped for the oblivious engine (enumerating all
+//! connected 5-subgraphs of dense graphs is exactly the blow-up the paper
+//! ascribes to pattern-oblivious search).
+
+use fm_bench::datasets::dataset;
+use fm_bench::harness::{fmt_secs, fmt_x, geomean, time_engine, BenchArgs, Table};
+use fm_bench::workloads::{workload, WorkloadKey};
+use fm_engine::oblivious;
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut table = Table::new(
+        "table2",
+        "Baselines: pattern-oblivious (Gramer model) vs AutoMine vs GraphZero",
+        &["app", "graph", "oblivious", "automine", "graphzero", "gz-vs-obl", "gz-vs-am"],
+    );
+    let mut obl_speedups = Vec::new();
+    let mut am_speedups = Vec::new();
+    for wk in [WorkloadKey::Tc, WorkloadKey::Cl4, WorkloadKey::Cl5, WorkloadKey::Mc3] {
+        let w = workload(wk);
+        for key in wk.fig13_datasets() {
+            // Keep host runtime bounded: the large graphs only run the
+            // plan-driven engines for the expensive apps.
+            // ESU around the kilobyte-scale hubs enumerates ~1e9 connected
+            // 4-subgraphs — intractable, which is the point of Table II.
+            // The oblivious engine therefore runs only the k=3 workloads.
+            let oblivious_ok = matches!(wk, WorkloadKey::Tc | WorkloadKey::Mc3);
+            let d = dataset(key, args.quick);
+            let gz_plan = w.plan();
+            let am_plan = w.automine_plan();
+            let (gz_secs, gz) = time_engine(&d.graph, &gz_plan, args.threads);
+            let (am_secs, am) = time_engine(&d.graph, &am_plan, args.threads);
+            assert_eq!(
+                gz.unique_counts(&gz_plan),
+                am.unique_counts(&am_plan),
+                "engines must agree on {} {}",
+                wk.label(),
+                key.label()
+            );
+            let (obl_cell, obl_ratio) = if oblivious_ok {
+                let start = Instant::now();
+                let o = oblivious::count_induced(&d.graph, &w.patterns, args.threads);
+                let obl_secs = start.elapsed().as_secs_f64();
+                // The oblivious engine counts vertex-induced subgraphs;
+                // for cliques/motifs these match the plan engine.
+                if w.options.induced || w.patterns[0].is_clique() {
+                    assert_eq!(o.counts, gz.unique_counts(&gz_plan), "oblivious count mismatch");
+                }
+                obl_speedups.push(obl_secs / gz_secs);
+                (fmt_secs(obl_secs), fmt_x(obl_secs / gz_secs))
+            } else {
+                ("-".to_string(), "-".to_string())
+            };
+            am_speedups.push(am_secs / gz_secs);
+            table.push(vec![
+                wk.label().to_string(),
+                key.label().to_string(),
+                obl_cell,
+                fmt_secs(am_secs),
+                fmt_secs(gz_secs),
+                obl_ratio,
+                fmt_x(am_secs / gz_secs),
+            ]);
+        }
+    }
+    table.note(format!(
+        "GraphZero over pattern-oblivious: geomean {} (paper: ~8.3x over Gramer)",
+        fmt_x(geomean(&obl_speedups))
+    ));
+    table.note(format!(
+        "GraphZero over AutoMine (symmetry breaking): geomean {}",
+        fmt_x(geomean(&am_speedups))
+    ));
+    table.note(format!("baseline threads: {}", args.threads));
+    table.note("4-CL/5-CL oblivious omitted: enumerating all connected k-subgraphs around kilobyte-scale hubs is intractable — the pattern-oblivious blow-up the paper describes");
+    table.emit(&args.out).expect("write table2");
+}

@@ -1,0 +1,35 @@
+//! # fm-bench
+//!
+//! Experiment harness reproducing every table and figure of the FlexMiner
+//! paper's evaluation (§VII). Each artifact has a dedicated binary:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table I — input-graph characteristics |
+//! | `table2` | Table II — Gramer (pattern-oblivious) vs AutoMine vs GraphZero |
+//! | `fig07` | Fig. 7 — software k-CL thread scaling |
+//! | `fig13` | Fig. 13 — FlexMiner (no c-map), 10/20/40 PEs vs GraphZero-20T |
+//! | `fig14` | Fig. 14 — c-map size sweep (1 kB…unlimited), 20 PEs |
+//! | `fig15` | Fig. 15 — PE scaling 1→64 with 8 kB c-map |
+//! | `fig16` | Fig. 16 — NoC traffic and DRAM accesses vs c-map size |
+//! | `large_graph` | §VII-D — TC on the Or stand-in |
+//! | `large_patterns` | §VII-D — k-CL, k ∈ 5..9, on the Pa stand-in |
+//! | `ablation_decompose` | §VII-E — specialization vs multithreading split |
+//! | `ablation_cmap` | c-map design ablation (banks, threshold, value width) |
+//!
+//! Datasets are deterministic synthetic stand-ins for the paper's SNAP
+//! graphs (see [`datasets`] and `DESIGN.md` §4); absolute numbers differ
+//! from the paper but the comparisons' *shape* is the reproduction target,
+//! recorded in `EXPERIMENTS.md`.
+//!
+//! Every binary accepts `--quick` (scaled-down datasets for smoke runs),
+//! `--threads N` (baseline thread count, default 20 like the paper) and
+//! `--out DIR` (JSON result emission, default `results/`).
+
+pub mod datasets;
+pub mod harness;
+pub mod workloads;
+
+pub use datasets::{dataset, datasets_for, Dataset, DatasetKey};
+pub use harness::{BenchArgs, Row, Table};
+pub use workloads::{workload, Workload, WorkloadKey};

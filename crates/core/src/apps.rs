@@ -1,0 +1,129 @@
+//! The paper's four GPM applications as one-call functions (§II-A).
+
+use crate::miner::{Backend, MineError, Miner, MiningOutcome};
+use fm_graph::CsrGraph;
+use fm_pattern::{motifs, Pattern};
+
+/// Triangle counting (TC): "counts the number of triangles in G".
+///
+/// # Examples
+///
+/// ```
+/// use flexminer::apps;
+/// use fm_graph::generators;
+///
+/// let g = generators::complete(6);
+/// assert_eq!(apps::triangle_count(&g, apps::default_backend())?, 20);
+/// # Ok::<(), flexminer::MineError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`MineError`] from the underlying job (never fails for this
+/// fixed single-pattern job in practice).
+pub fn triangle_count(g: &CsrGraph, backend: Backend) -> Result<u64, MineError> {
+    Ok(Miner::new(g).pattern(Pattern::triangle()).backend(backend).run()?.count())
+}
+
+/// k-clique listing (k-CL): counts all k-cliques, using the degree-
+/// orientation optimization (§V-C).
+///
+/// # Errors
+///
+/// Propagates [`MineError`]; panics upstream if `k` exceeds the pattern
+/// size limit.
+pub fn k_clique_count(g: &CsrGraph, k: usize, backend: Backend) -> Result<u64, MineError> {
+    Ok(Miner::new(g).pattern(Pattern::k_clique(k)).backend(backend).run()?.count())
+}
+
+/// Subgraph listing (SL): counts edge-induced embeddings of an arbitrary
+/// user pattern.
+///
+/// # Errors
+///
+/// Propagates [`MineError`].
+pub fn subgraph_count(g: &CsrGraph, pattern: &Pattern, backend: Backend) -> Result<u64, MineError> {
+    Ok(Miner::new(g).pattern(pattern.clone()).backend(backend).run()?.count())
+}
+
+/// k-motif counting (k-MC): counts vertex-induced occurrences of every
+/// connected k-vertex pattern simultaneously (multi-pattern mining).
+///
+/// Returns `(motif name, count)` pairs in the deterministic motif order of
+/// [`fm_pattern::motifs::motifs`].
+///
+/// # Errors
+///
+/// Propagates [`MineError`].
+///
+/// # Panics
+///
+/// Panics if `k > 6` (motif enumeration limit).
+pub fn motif_census(
+    g: &CsrGraph,
+    k: usize,
+    backend: Backend,
+) -> Result<Vec<(String, u64)>, MineError> {
+    let ms = motifs::motifs(k);
+    let outcome: MiningOutcome =
+        Miner::new(g).patterns(ms).induced(true).backend(backend).run()?;
+    Ok(outcome.per_pattern().iter().map(|p| (p.name.clone(), p.count)).collect())
+}
+
+/// The default backend used by examples: the software engine on all
+/// available host threads.
+pub fn default_backend() -> Backend {
+    Backend::software(std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_graph::generators;
+
+    #[test]
+    fn triangle_count_on_oracles() {
+        assert_eq!(triangle_count(&generators::complete(7), Backend::default()).unwrap(), 35);
+        assert_eq!(triangle_count(&generators::cycle(8), Backend::default()).unwrap(), 0);
+        assert_eq!(triangle_count(&generators::grid(4, 4), Backend::default()).unwrap(), 0);
+    }
+
+    #[test]
+    fn clique_counts_on_complete_graph() {
+        let g = generators::complete(9);
+        assert_eq!(k_clique_count(&g, 4, Backend::default()).unwrap(), 126); // C(9,4)
+        assert_eq!(k_clique_count(&g, 5, Backend::default()).unwrap(), 126); // C(9,5)
+    }
+
+    #[test]
+    fn subgraph_count_four_cycles_in_bipartite() {
+        let g = generators::complete_bipartite(4, 4);
+        let n = subgraph_count(&g, &Pattern::cycle(4), Backend::default()).unwrap();
+        assert_eq!(n, 36); // C(4,2)^2
+    }
+
+    #[test]
+    fn motif_census_sums_to_subset_counts() {
+        let g = generators::erdos_renyi(40, 0.3, 7);
+        let census = motif_census(&g, 3, Backend::default()).unwrap();
+        assert_eq!(census.len(), 2);
+        let by_name: std::collections::HashMap<_, _> = census.into_iter().collect();
+        // Wedges + triangles as induced counts must match the oblivious
+        // oracle.
+        let oracle = fm_engine::oblivious::count_induced(
+            &g,
+            &[Pattern::wedge(), Pattern::triangle()],
+            1,
+        );
+        assert_eq!(by_name["wedge"], oracle.counts[0]);
+        assert_eq!(by_name["triangle"], oracle.counts[1]);
+    }
+
+    #[test]
+    fn accelerator_backend_works_in_apps() {
+        let g = generators::powerlaw_cluster(100, 4, 0.5, 4);
+        let sw = triangle_count(&g, Backend::default()).unwrap();
+        let hw = triangle_count(&g, Backend::accelerator()).unwrap();
+        assert_eq!(sw, hw);
+    }
+}

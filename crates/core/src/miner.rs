@@ -1,0 +1,333 @@
+//! The mining job builder.
+
+use fm_engine::{EngineConfig, MiningResult, WorkCounters};
+use fm_graph::CsrGraph;
+use fm_pattern::Pattern;
+use fm_plan::{compile_multi, CompileOptions, ExecutionPlan};
+use fm_sim::{simulate, SimConfig, SimReport};
+use std::fmt;
+use std::time::Duration;
+
+/// Where a mining job executes.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Backend {
+    /// The plan-driven software engine (the paper's GraphZero-model CPU
+    /// baseline) with the given configuration.
+    Software(EngineConfig),
+    /// The cycle-level FlexMiner accelerator simulator.
+    Accelerator(SimConfig),
+}
+
+impl Backend {
+    /// Software engine with `threads` worker threads.
+    pub fn software(threads: usize) -> Backend {
+        Backend::Software(EngineConfig::with_threads(threads))
+    }
+
+    /// Accelerator simulator with the paper's default configuration
+    /// (20 PEs, 8 kB c-map, 32 kB private caches, 4 MB shared cache).
+    pub fn accelerator() -> Backend {
+        Backend::Accelerator(SimConfig::default())
+    }
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Software(EngineConfig::default())
+    }
+}
+
+/// Error from assembling or running a mining job.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MineError {
+    /// No pattern was supplied.
+    NoPatterns,
+    /// Vertex-induced multi-pattern jobs need patterns of one size
+    /// (k-motif counting); mixed sizes are ambiguous.
+    MixedInducedSizes,
+}
+
+impl fmt::Display for MineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MineError::NoPatterns => write!(f, "mining job has no patterns"),
+            MineError::MixedInducedSizes => {
+                write!(f, "vertex-induced jobs require patterns of a single size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MineError {}
+
+/// One pattern's result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PatternCount {
+    /// Human-readable pattern name.
+    pub name: String,
+    /// Unique embeddings found.
+    pub count: u64,
+}
+
+/// The result of a mining job.
+#[derive(Clone, Debug)]
+pub struct MiningOutcome {
+    per_pattern: Vec<PatternCount>,
+    work: Option<WorkCounters>,
+    sim: Option<SimReport>,
+    elapsed: Duration,
+}
+
+impl MiningOutcome {
+    /// Unique embedding counts, in pattern order.
+    pub fn counts(&self) -> Vec<u64> {
+        self.per_pattern.iter().map(|p| p.count).collect()
+    }
+
+    /// Count of the first (or only) pattern.
+    pub fn count(&self) -> u64 {
+        self.per_pattern.first().map_or(0, |p| p.count)
+    }
+
+    /// Per-pattern names and counts.
+    pub fn per_pattern(&self) -> &[PatternCount] {
+        &self.per_pattern
+    }
+
+    /// Software work counters (software backend only).
+    pub fn work(&self) -> Option<&WorkCounters> {
+        self.work.as_ref()
+    }
+
+    /// The accelerator simulation report (accelerator backend only).
+    pub fn sim_report(&self) -> Option<&SimReport> {
+        self.sim.as_ref()
+    }
+
+    /// Host wall-clock time of the run. For the software backend this is
+    /// the baseline measurement the paper compares against; for the
+    /// accelerator backend prefer
+    /// [`SimReport::seconds`](fm_sim::SimReport::seconds) (simulated time).
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+}
+
+/// Builder for mining jobs.
+///
+/// # Examples
+///
+/// 3-motif counting on the accelerator:
+///
+/// ```
+/// use flexminer::{Backend, Miner};
+/// use fm_graph::generators;
+/// use fm_pattern::motifs;
+///
+/// let g = generators::erdos_renyi(60, 0.15, 3);
+/// let outcome = Miner::new(&g)
+///     .patterns(motifs::motifs(3))
+///     .induced(true)
+///     .backend(Backend::accelerator())
+///     .run()?;
+/// assert_eq!(outcome.per_pattern().len(), 2); // wedge + triangle
+/// # Ok::<(), flexminer::MineError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Miner<'g> {
+    graph: &'g CsrGraph,
+    patterns: Vec<Pattern>,
+    options: CompileOptions,
+    backend: Backend,
+}
+
+impl<'g> Miner<'g> {
+    /// Starts a mining job on `graph` (software backend, one thread,
+    /// edge-induced, symmetry breaking on).
+    pub fn new(graph: &'g CsrGraph) -> Miner<'g> {
+        Miner {
+            graph,
+            patterns: Vec::new(),
+            options: CompileOptions::default(),
+            backend: Backend::default(),
+        }
+    }
+
+    /// Adds a pattern to mine.
+    #[must_use]
+    pub fn pattern(mut self, p: Pattern) -> Self {
+        self.patterns.push(p);
+        self
+    }
+
+    /// Adds every pattern from an iterator (multi-pattern mining, §V-B).
+    #[must_use]
+    pub fn patterns<I: IntoIterator<Item = Pattern>>(mut self, iter: I) -> Self {
+        self.patterns.extend(iter);
+        self
+    }
+
+    /// Selects vertex-induced (`true`) or edge-induced (`false`, default)
+    /// matching.
+    #[must_use]
+    pub fn induced(mut self, induced: bool) -> Self {
+        self.options.induced = induced;
+        self
+    }
+
+    /// Toggles symmetry breaking. Disabling models AutoMine's larger
+    /// search space; counts remain unique (normalized by |Aut(P)|).
+    #[must_use]
+    pub fn symmetry(mut self, symmetry: bool) -> Self {
+        self.options.symmetry = symmetry;
+        if !symmetry {
+            self.options.orientation = false;
+        }
+        self
+    }
+
+    /// Selects the execution backend.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand: software backend with `n` threads.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.backend = Backend::software(n);
+        self
+    }
+
+    /// Compiles and returns the execution plan for inspection (the IR that
+    /// would be loaded into the hardware; printable in Listing-1 style).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`run`](Self::run).
+    pub fn plan(&self) -> Result<ExecutionPlan, MineError> {
+        self.validate()?;
+        // Single-pattern jobs go through `compile`, so cliques get the
+        // orientation special case (§V-C).
+        if self.patterns.len() == 1 {
+            Ok(fm_plan::compile(&self.patterns[0], self.options))
+        } else {
+            Ok(compile_multi(&self.patterns, self.options))
+        }
+    }
+
+    fn validate(&self) -> Result<(), MineError> {
+        if self.patterns.is_empty() {
+            return Err(MineError::NoPatterns);
+        }
+        if self.options.induced && self.patterns.len() > 1 {
+            let k = self.patterns[0].size();
+            if self.patterns.iter().any(|p| p.size() != k) {
+                return Err(MineError::MixedInducedSizes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MineError::NoPatterns`] for an empty job and
+    /// [`MineError::MixedInducedSizes`] for invalid induced jobs.
+    pub fn run(&self) -> Result<MiningOutcome, MineError> {
+        let plan = self.plan()?;
+        let start = std::time::Instant::now();
+        let (raw, work, sim): (Vec<u64>, Option<WorkCounters>, Option<SimReport>) =
+            match &self.backend {
+                Backend::Software(cfg) => {
+                    let result: MiningResult = fm_engine::mine(self.graph, &plan, cfg);
+                    (result.unique_counts(&plan), Some(result.work), None)
+                }
+                Backend::Accelerator(cfg) => {
+                    let report = simulate(self.graph, &plan, cfg);
+                    let result =
+                        MiningResult { counts: report.counts.clone(), work: WorkCounters::default() };
+                    (result.unique_counts(&plan), None, Some(report))
+                }
+            };
+        let elapsed = start.elapsed();
+        let per_pattern = plan
+            .patterns
+            .iter()
+            .zip(raw)
+            .map(|(meta, count)| PatternCount { name: meta.name.clone(), count })
+            .collect();
+        Ok(MiningOutcome { per_pattern, work, sim, elapsed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_graph::generators;
+
+    #[test]
+    fn empty_job_is_rejected() {
+        let g = generators::complete(3);
+        assert_eq!(Miner::new(&g).run().unwrap_err(), MineError::NoPatterns);
+    }
+
+    #[test]
+    fn mixed_induced_sizes_are_rejected() {
+        let g = generators::complete(4);
+        let err = Miner::new(&g)
+            .pattern(Pattern::triangle())
+            .pattern(Pattern::k_clique(4))
+            .induced(true)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, MineError::MixedInducedSizes);
+        // Edge-induced multi-pattern jobs of mixed sizes are fine.
+        assert!(Miner::new(&g)
+            .pattern(Pattern::triangle())
+            .pattern(Pattern::k_clique(4))
+            .run()
+            .is_ok());
+    }
+
+    #[test]
+    fn backends_agree_and_report_their_extras() {
+        let g = generators::powerlaw_cluster(150, 4, 0.5, 2);
+        let job = Miner::new(&g).pattern(Pattern::diamond());
+        let sw = job.clone().run().unwrap();
+        let hw = job.clone().backend(Backend::accelerator()).run().unwrap();
+        let par = job.clone().threads(4).run().unwrap();
+        assert_eq!(sw.counts(), hw.counts());
+        assert_eq!(sw.counts(), par.counts());
+        assert!(sw.work().is_some() && sw.sim_report().is_none());
+        assert!(hw.work().is_none() && hw.sim_report().is_some());
+    }
+
+    #[test]
+    fn symmetry_toggle_preserves_unique_counts() {
+        let g = generators::erdos_renyi(50, 0.2, 9);
+        let with = Miner::new(&g).pattern(Pattern::triangle()).run().unwrap();
+        let without =
+            Miner::new(&g).pattern(Pattern::triangle()).symmetry(false).run().unwrap();
+        assert_eq!(with.counts(), without.counts());
+    }
+
+    #[test]
+    fn plan_is_inspectable() {
+        let g = generators::complete(4);
+        let plan = Miner::new(&g).pattern(Pattern::cycle(4)).plan().unwrap();
+        let text = plan.to_string();
+        assert!(text.contains("pruneBy"));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let g = generators::complete(5);
+        let outcome = Miner::new(&g).pattern(Pattern::triangle()).run().unwrap();
+        assert_eq!(outcome.count(), 10);
+        assert_eq!(outcome.per_pattern()[0].name, "triangle");
+        assert_eq!(outcome.counts(), vec![10]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Software connectivity maps (c-map).
+//!
+//! §II-C / §VI of the paper: a c-map is a key→bitset map recording, for
+//! each vertex `w` seen near the current embedding, which embedding depths
+//! `w` is connected to. It is built incrementally as vertices join the
+//! embedding and unwound in stack order on backtracking.
+//!
+//! Two functional implementations are provided:
+//!
+//! * [`HashCmap`] — compact map keyed by vertex id (what the hardware's
+//!   linear-probing scratchpad implements in §VI-A);
+//! * [`VectorCmap`] — the prior-work software layout ([15, 21]): a |V|-sized
+//!   array, O(1) access but O(|V|) memory per worker. The paper's critique
+//!   of this layout (§VI) motivates the hardware design; we keep it for
+//!   ablations and as a differential-testing oracle.
+
+use fm_graph::VertexId;
+use std::collections::HashMap;
+
+/// Common interface of the software connectivity maps.
+///
+/// The trait is sealed in spirit: it exists so the executor and tests can
+/// be generic over the two layouts.
+pub trait ConnectivityMap {
+    /// Sets bit `depth` for key `w` (inserting the entry if absent).
+    fn insert(&mut self, w: VertexId, depth: usize);
+
+    /// Clears bit `depth` for key `w`. Mirrors the paper's simplified
+    /// deletion: the caller only ever removes keys it inserted at the same
+    /// depth, in bulk, before any intervening lookup of those entries.
+    fn remove(&mut self, w: VertexId, depth: usize);
+
+    /// The connectivity bitset of `w` (0 if absent: "If the lookup key does
+    /// not exist in the map, it means the vertex is not connected to any of
+    /// the vertices in the current embedding").
+    fn query(&self, w: VertexId) -> u64;
+
+    /// Whether `w` is recorded as connected to depth `depth`.
+    fn is_connected(&self, w: VertexId, depth: usize) -> bool {
+        (self.query(w) >> depth) & 1 == 1
+    }
+
+    /// Number of live (nonzero) entries.
+    fn len(&self) -> usize;
+
+    /// Whether the map holds no live entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (end of a task: "when a task is completed, all
+    /// entries in c-map are invalidated").
+    fn clear(&mut self);
+}
+
+/// Hash-backed c-map.
+#[derive(Clone, Debug, Default)]
+pub struct HashCmap {
+    map: HashMap<u32, u64>,
+}
+
+impl HashCmap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ConnectivityMap for HashCmap {
+    fn insert(&mut self, w: VertexId, depth: usize) {
+        *self.map.entry(w.0).or_insert(0) |= 1 << depth;
+    }
+
+    fn remove(&mut self, w: VertexId, depth: usize) {
+        if let Some(bits) = self.map.get_mut(&w.0) {
+            *bits &= !(1 << depth);
+            if *bits == 0 {
+                self.map.remove(&w.0);
+            }
+        }
+    }
+
+    fn query(&self, w: VertexId) -> u64 {
+        self.map.get(&w.0).copied().unwrap_or(0)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// |V|-sized vector c-map (the layout of [15, 21] the paper improves on).
+#[derive(Clone, Debug)]
+pub struct VectorCmap {
+    bits: Vec<u64>,
+    live: usize,
+}
+
+impl VectorCmap {
+    /// Creates a map able to key any vertex of a graph with `num_vertices`
+    /// vertices. Allocates `8 * num_vertices` bytes — the scaling problem
+    /// §VI points out.
+    pub fn new(num_vertices: usize) -> Self {
+        VectorCmap { bits: vec![0; num_vertices], live: 0 }
+    }
+}
+
+impl ConnectivityMap for VectorCmap {
+    fn insert(&mut self, w: VertexId, depth: usize) {
+        let slot = &mut self.bits[w.index()];
+        if *slot == 0 {
+            self.live += 1;
+        }
+        *slot |= 1 << depth;
+    }
+
+    fn remove(&mut self, w: VertexId, depth: usize) {
+        let slot = &mut self.bits[w.index()];
+        let had = *slot != 0;
+        *slot &= !(1 << depth);
+        if had && *slot == 0 {
+            self.live -= 1;
+        }
+    }
+
+    fn query(&self, w: VertexId) -> u64 {
+        self.bits[w.index()]
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn clear(&mut self) {
+        self.bits.fill(0);
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<M: ConnectivityMap>(mut m: M) {
+        let w = VertexId(7);
+        assert_eq!(m.query(w), 0);
+        assert!(m.is_empty());
+        m.insert(w, 0);
+        m.insert(w, 2);
+        assert_eq!(m.query(w), 0b101);
+        assert!(m.is_connected(w, 0));
+        assert!(!m.is_connected(w, 1));
+        assert_eq!(m.len(), 1);
+        m.insert(VertexId(9), 1);
+        assert_eq!(m.len(), 2);
+        // Stack-ordered unwind.
+        m.remove(w, 2);
+        assert_eq!(m.query(w), 0b001);
+        m.remove(w, 0);
+        assert_eq!(m.query(w), 0);
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.query(VertexId(9)), 0);
+    }
+
+    #[test]
+    fn hash_cmap_semantics() {
+        exercise(HashCmap::new());
+    }
+
+    #[test]
+    fn vector_cmap_semantics() {
+        exercise(VectorCmap::new(16));
+    }
+
+    #[test]
+    fn implementations_agree_on_random_trace() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut h = HashCmap::new();
+        let mut v = VectorCmap::new(64);
+        // Random stack-disciplined trace: push level-bulks, pop them.
+        let mut stack: Vec<Vec<(VertexId, usize)>> = Vec::new();
+        for _ in 0..200 {
+            if rng.gen_bool(0.6) || stack.is_empty() {
+                let depth = stack.len();
+                let bulk: Vec<(VertexId, usize)> =
+                    (0..rng.gen_range(0..6)).map(|_| (VertexId(rng.gen_range(0..64)), depth)).collect();
+                for &(w, d) in &bulk {
+                    h.insert(w, d);
+                    v.insert(w, d);
+                }
+                stack.push(bulk);
+            } else {
+                let bulk = stack.pop().expect("nonempty");
+                for &(w, d) in bulk.iter().rev() {
+                    h.remove(w, d);
+                    v.remove(w, d);
+                }
+            }
+            for w in 0..64 {
+                assert_eq!(h.query(VertexId(w)), v.query(VertexId(w)));
+            }
+        }
+    }
+}

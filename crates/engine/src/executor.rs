@@ -1,0 +1,537 @@
+//! Plan-driven DFS executor (single worker).
+//!
+//! This is the software realization of the execution model in Fig. 10 of
+//! the paper: a depth-first walk over the subgraph search tree, customized
+//! entirely by the execution plan. The same candidate-generation semantics
+//! (frontier memoization, c-map queries, merge-based fallback) are
+//! implemented cycle-by-cycle in the hardware simulator; the two are
+//! cross-checked for identical counts in the integration tests.
+
+use crate::cmap::{ConnectivityMap, HashCmap};
+use crate::result::{MiningResult, WorkCounters};
+use crate::setops;
+use crate::EngineConfig;
+use fm_graph::{orient_by_degree, CsrGraph, VertexId};
+use fm_plan::lowering::{lower, LowerOptions, Program};
+use fm_plan::{ExecutionPlan, FrontierHint};
+use std::borrow::Cow;
+
+/// Applies the plan's preprocessing directive to the data graph: k-clique
+/// plans run on the degree-oriented DAG (§V-C), everything else on the
+/// symmetric graph.
+///
+/// "The preprocessing time is usually less than 1% of the execution time,
+/// and once converted, the graph can be used for any k-CL."
+pub fn prepare_graph<'g>(graph: &'g CsrGraph, plan: &ExecutionPlan) -> Cow<'g, CsrGraph> {
+    if plan.orientation {
+        Cow::Owned(orient_by_degree(graph))
+    } else {
+        Cow::Borrowed(graph)
+    }
+}
+
+/// Convenience entry point: prepares the graph and mines every start vertex
+/// on the calling thread.
+///
+/// # Examples
+///
+/// ```
+/// use fm_engine::{mine_single_threaded, EngineConfig};
+/// use fm_graph::generators;
+/// use fm_pattern::Pattern;
+/// use fm_plan::{compile, CompileOptions};
+///
+/// let g = generators::cycle(6);
+/// let plan = compile(&Pattern::cycle(6), CompileOptions::default());
+/// let result = mine_single_threaded(&g, &plan, &EngineConfig::default());
+/// assert_eq!(result.counts, vec![1]); // C6 contains itself once
+/// ```
+pub fn mine_single_threaded(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+) -> MiningResult {
+    let prepared = prepare_graph(graph, plan);
+    let mut ex = Executor::new(&prepared, plan, cfg);
+    ex.run_range(0, prepared.num_vertices() as u32);
+    ex.finish()
+}
+
+/// Mutable per-worker state.
+struct State {
+    emb: Vec<VertexId>,
+    /// Materialized core (candidate) lists, one buffer per depth.
+    frontiers: Vec<Vec<VertexId>>,
+    /// `core_at[d]` = depth index whose buffer holds the core for level d
+    /// (differs from `d` for `Reuse` ops).
+    core_at: Vec<usize>,
+    /// Keys inserted into the c-map per depth, for stack-ordered unwind.
+    inserted: Vec<Vec<VertexId>>,
+    scratch_a: Vec<VertexId>,
+    scratch_b: Vec<VertexId>,
+    cmap: HashCmap,
+    counts: Vec<u64>,
+    work: WorkCounters,
+    matches: Option<Vec<(usize, Vec<VertexId>)>>,
+}
+
+impl State {
+    fn new(depth: usize, patterns: usize) -> State {
+        State {
+            emb: Vec::with_capacity(depth),
+            frontiers: vec![Vec::new(); depth],
+            core_at: vec![0; depth],
+            inserted: vec![Vec::new(); depth],
+            scratch_a: Vec::new(),
+            scratch_b: Vec::new(),
+            cmap: HashCmap::new(),
+            counts: vec![0; patterns],
+            work: WorkCounters::default(),
+            matches: None,
+        }
+    }
+}
+
+/// A single-threaded, plan-driven mining executor over a prepared graph.
+///
+/// Most callers want [`crate::mine`] (which handles graph preparation and
+/// threading); `Executor` is the building block exposed for the parallel
+/// driver, the benchmarks and differential tests.
+pub struct Executor<'g> {
+    graph: &'g CsrGraph,
+    program: Program,
+    cfg: EngineConfig,
+    state: State,
+}
+
+impl<'g> Executor<'g> {
+    /// Creates an executor over `graph`, which must already be prepared via
+    /// [`prepare_graph`] (oriented for k-clique plans).
+    pub fn new(graph: &'g CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> Executor<'g> {
+        let program = lower(plan, LowerOptions { frontier_memo: cfg.frontier_memo });
+        let state = State::new(program.depth, plan.patterns.len());
+        Executor { graph, program, cfg: *cfg, state }
+    }
+
+    /// Enables recording of complete matches (pattern index + embedding).
+    /// Intended for tests and small listings; counting stays exact either
+    /// way.
+    pub fn collect_matches(&mut self) {
+        self.state.matches = Some(Vec::new());
+    }
+
+    /// Runs the full search subtree rooted at start vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the graph.
+    pub fn run_vertex(&mut self, v: VertexId) {
+        enter(self.graph, &self.cfg, &self.program, &mut self.state, 0, v);
+        debug_assert!(self.state.emb.is_empty());
+        debug_assert!(
+            !self.cfg.use_cmap || self.state.cmap.is_empty(),
+            "c-map must be self-cleaning across tasks"
+        );
+    }
+
+    /// Runs start vertices `lo..hi`.
+    pub fn run_range(&mut self, lo: u32, hi: u32) {
+        for v in lo..hi {
+            self.run_vertex(VertexId(v));
+        }
+    }
+
+    /// Consumes the executor and returns counts and work counters.
+    pub fn finish(self) -> MiningResult {
+        MiningResult { counts: self.state.counts, work: self.state.work }
+    }
+
+    /// The matches recorded since [`collect_matches`](Self::collect_matches).
+    pub fn matches(&self) -> &[(usize, Vec<VertexId>)] {
+        self.state.matches.as_deref().unwrap_or(&[])
+    }
+}
+
+/// Pushes `w` as the vertex for `node`, handles counting and c-map
+/// insertion, recurses into children, and unwinds.
+fn enter(
+    g: &CsrGraph,
+    cfg: &EngineConfig,
+    prog: &Program,
+    state: &mut State,
+    node_idx: usize,
+    w: VertexId,
+) {
+    let node = &prog.nodes[node_idx];
+    let d = node.depth;
+    debug_assert_eq!(state.emb.len(), d);
+    state.emb.push(w);
+    state.work.extensions += 1;
+    if let Some(pi) = node.pattern_index {
+        state.counts[pi] += 1;
+        if let Some(matches) = &mut state.matches {
+            matches.push((pi, state.emb.clone()));
+        }
+    }
+    let mut did_insert = false;
+    if cfg.use_cmap && node.cmap_insert && !node.children.is_empty() {
+        did_insert = true;
+        let bound = node.cmap_insert_bound.map(|l| state.emb[l]);
+        state.inserted[d].clear();
+        for &nb in g.neighbors(w) {
+            if let Some(b) = bound {
+                if nb >= b {
+                    break; // adjacency is sorted ascending
+                }
+            }
+            state.cmap.insert(nb, d);
+            state.work.cmap_inserts += 1;
+            state.inserted[d].push(nb);
+        }
+    }
+    for &child in &node.children {
+        step(g, cfg, prog, state, child);
+    }
+    if did_insert {
+        let ins = std::mem::take(&mut state.inserted[d]);
+        for &nb in &ins {
+            state.cmap.remove(nb, d);
+            state.work.cmap_removes += 1;
+        }
+        state.inserted[d] = ins;
+    }
+    state.emb.pop();
+}
+
+/// Generates the candidates of `node` and recurses into each survivor.
+fn step(g: &CsrGraph, cfg: &EngineConfig, prog: &Program, state: &mut State, node_idx: usize) {
+    let node = &prog.nodes[node_idx];
+    let d = node.depth;
+    let bound: Option<VertexId> = node.upper_bounds.iter().map(|&l| state.emb[l]).min();
+
+    build_core(g, cfg, prog, state, node_idx, bound);
+
+    let core = state.core_at[d];
+    let len = state.frontiers[core].len();
+
+    // Leaf fast path: a terminal pattern level only needs its qualifying
+    // candidates *counted* — GraphZero's generated code ends in exactly
+    // such count loops, and the FlexMiner reducer does the same in
+    // hardware. (Disabled while collecting full matches.)
+    if node.pattern_index.is_some() && node.children.is_empty() && state.matches.is_none() {
+        let pi = node.pattern_index.expect("checked above");
+        let mut found = 0u64;
+        for i in 0..len {
+            let w = state.frontiers[core][i];
+            state.work.candidates_checked += 1;
+            if let Some(b) = bound {
+                if w >= b {
+                    break;
+                }
+            }
+            if node.injectivity.iter().any(|&l| state.emb[l] == w) {
+                continue;
+            }
+            found += 1;
+        }
+        state.counts[pi] += found;
+        state.work.extensions += found;
+        return;
+    }
+
+    for i in 0..len {
+        let w = state.frontiers[core][i];
+        state.work.candidates_checked += 1;
+        if let Some(b) = bound {
+            if w >= b {
+                break; // cores are sorted ascending
+            }
+        }
+        if node.injectivity.iter().any(|&l| state.emb[l] == w) {
+            continue;
+        }
+        enter(g, cfg, prog, state, node_idx, w);
+    }
+}
+
+/// Materializes (or locates) the core candidate list for `node`, leaving
+/// its buffer index in `state.core_at[depth]`.
+fn build_core(
+    g: &CsrGraph,
+    cfg: &EngineConfig,
+    prog: &Program,
+    state: &mut State,
+    node_idx: usize,
+    bound: Option<VertexId>,
+) {
+    let node = &prog.nodes[node_idx];
+    let d = node.depth;
+    let has_constraints = !(node.connected.is_empty() && node.disconnected.is_empty());
+    match node.frontier {
+        FrontierHint::Reuse => {
+            state.core_at[d] = state.core_at[d - 1];
+        }
+        // Stream-and-probe: with a c-map, a probe-strategy op streams its
+        // extender's adjacency and resolves all connectivity constraints
+        // with one probe per candidate (§II-C: "the intersection is
+        // replaced by querying the c-map"). The lowering enables the
+        // strategy only where the probed levels' insertions amortize.
+        _ if cfg.use_cmap && node.probe => {
+            let ext = node.extender.expect("constrained ops always have an extender");
+            let src = g.neighbors(state.emb[ext]);
+            let mut out = std::mem::take(&mut state.frontiers[d]);
+            out.clear();
+            for &w in src {
+                if node.bounded_build {
+                    if let Some(b) = bound {
+                        if w >= b {
+                            break;
+                        }
+                    }
+                }
+                state.work.cmap_queries += 1;
+                let bits = state.cmap.query(w);
+                if bits != 0 {
+                    state.work.cmap_hits += 1;
+                }
+                let ok = node.connected.iter().all(|&l| (bits >> l) & 1 == 1)
+                    && node.disconnected.iter().all(|&l| (bits >> l) & 1 == 0);
+                if ok {
+                    out.push(w);
+                }
+            }
+            state.frontiers[d] = out;
+            state.core_at[d] = d;
+        }
+        FrontierHint::Extend | FrontierHint::ExtendDiff => {
+            let want_connected = node.frontier == FrontierHint::Extend;
+            let src = state.core_at[d - 1];
+            let mut out = std::mem::take(&mut state.frontiers[d]);
+            out.clear();
+            // Full (unbounded) merges, as in GraphZero's generated code
+            // and the SIU of Fig. 9: candidate sets are materialized in
+            // full and vid bounds are applied during iteration (sorted
+            // cores break early).
+            let adj = g.neighbors(state.emb[d - 1]);
+            if want_connected {
+                setops::intersect_into(&state.frontiers[src], adj, &mut out, &mut state.work)
+            } else {
+                setops::difference_into(&state.frontiers[src], adj, &mut out, &mut state.work)
+            }
+            state.frontiers[d] = out;
+            state.core_at[d] = d;
+        }
+        FrontierHint::None => {
+            let ext = node.extender.expect("non-root ops always have an extender");
+            let src = g.neighbors(state.emb[ext]);
+            let mut out = std::mem::take(&mut state.frontiers[d]);
+            out.clear();
+            if !has_constraints {
+                out.extend_from_slice(src);
+            } else {
+                // Merge pipeline: src ∩ adj(connected…) \ adj(disconnected…),
+                // ping-ponging between two scratch buffers and landing the
+                // final stage in `out`.
+                let mut a = std::mem::take(&mut state.scratch_a);
+                let mut b = std::mem::take(&mut state.scratch_b);
+                let total = node.connected.len() + node.disconnected.len();
+                let stages =
+                    node.connected.iter().map(|&l| (l, true)).chain(
+                        node.disconnected.iter().map(|&l| (l, false)),
+                    );
+                for (i, (l, is_conn)) in stages.enumerate() {
+                    let adj = g.neighbors(state.emb[l]);
+                    let last = i + 1 == total;
+                    let (cur, dst): (&[VertexId], &mut Vec<VertexId>) = if i == 0 {
+                        (src, if last { &mut out } else { &mut a })
+                    } else if i % 2 == 1 {
+                        (&a, if last { &mut out } else { &mut b })
+                    } else {
+                        (&b, if last { &mut out } else { &mut a })
+                    };
+                    dst.clear();
+                    if is_conn {
+                        setops::intersect_into(cur, adj, dst, &mut state.work);
+                    } else {
+                        setops::difference_into(cur, adj, dst, &mut state.work);
+                    }
+                }
+                state.scratch_a = a;
+                state.scratch_b = b;
+            }
+            state.frontiers[d] = out;
+            state.core_at[d] = d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_graph::generators;
+    use fm_pattern::Pattern;
+    use fm_plan::{compile, compile_multi, CompileOptions};
+
+    fn count(g: &CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> Vec<u64> {
+        mine_single_threaded(g, plan, cfg).unique_counts(plan)
+    }
+
+    #[test]
+    fn triangles_in_complete_graph() {
+        let g = generators::complete(7);
+        let plan = compile(&Pattern::triangle(), CompileOptions::default());
+        // C(7,3) = 35.
+        assert_eq!(count(&g, &plan, &EngineConfig::default()), vec![35]);
+    }
+
+    #[test]
+    fn four_cliques_in_complete_graph() {
+        let g = generators::complete(8);
+        let plan = compile(&Pattern::k_clique(4), CompileOptions::default());
+        // C(8,4) = 70.
+        assert_eq!(count(&g, &plan, &EngineConfig::default()), vec![70]);
+    }
+
+    #[test]
+    fn four_cycles_in_bipartite_graph() {
+        // K_{3,4}: C(3,2) * C(4,2) = 3 * 6 = 18 four-cycles.
+        let g = generators::complete_bipartite(3, 4);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        assert_eq!(count(&g, &plan, &EngineConfig::default()), vec![18]);
+    }
+
+    #[test]
+    fn four_cycles_in_grid() {
+        let g = generators::grid(5, 4);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        assert_eq!(count(&g, &plan, &EngineConfig::default()), vec![4 * 3]);
+    }
+
+    #[test]
+    fn wedges_in_star() {
+        let g = generators::star(6);
+        let plan = compile(&Pattern::wedge(), CompileOptions::default());
+        // C(6,2) = 15 wedges centered at the hub.
+        assert_eq!(count(&g, &plan, &EngineConfig::default()), vec![15]);
+    }
+
+    #[test]
+    fn diamonds_in_complete_graph() {
+        let g = generators::complete(5);
+        let plan = compile(&Pattern::diamond(), CompileOptions::default());
+        // K5: C(5,4) vertex sets × 6 edge-induced diamonds each (choose the
+        // missing edge among the 6).
+        assert_eq!(count(&g, &plan, &EngineConfig::default()), vec![30]);
+    }
+
+    #[test]
+    fn automine_mode_finds_each_match_aut_times() {
+        let g = generators::erdos_renyi(40, 0.25, 3);
+        let sym = compile(&Pattern::triangle(), CompileOptions::default());
+        let auto = compile(&Pattern::triangle(), CompileOptions::automine());
+        let s = mine_single_threaded(&g, &sym, &EngineConfig::default());
+        let a = mine_single_threaded(&g, &auto, &EngineConfig::default());
+        assert_eq!(a.counts[0], 6 * s.counts[0]);
+        assert_eq!(a.unique_counts(&auto), s.unique_counts(&sym));
+        // The larger search space costs more work.
+        assert!(a.work.extensions > s.work.extensions);
+    }
+
+    #[test]
+    fn cmap_mode_matches_setops_mode() {
+        let g = generators::powerlaw_cluster(150, 4, 0.5, 7);
+        for pattern in [
+            Pattern::triangle(),
+            Pattern::cycle(4),
+            Pattern::diamond(),
+            Pattern::tailed_triangle(),
+            Pattern::k_clique(4),
+            Pattern::house(),
+        ] {
+            let plan = compile(&pattern, CompileOptions::default());
+            let base = count(&g, &plan, &EngineConfig::default());
+            let with_cmap =
+                count(&g, &plan, &EngineConfig { use_cmap: true, ..Default::default() });
+            assert_eq!(base, with_cmap, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn frontier_memo_off_matches_on() {
+        let g = generators::powerlaw_cluster(120, 4, 0.4, 9);
+        for pattern in [Pattern::k_clique(4), Pattern::diamond(), Pattern::cycle(4)] {
+            let plan = compile(&pattern, CompileOptions::default());
+            let on = count(&g, &plan, &EngineConfig::default());
+            let off =
+                count(&g, &plan, &EngineConfig { frontier_memo: false, ..Default::default() });
+            let off_cmap = count(
+                &g,
+                &plan,
+                &EngineConfig { frontier_memo: false, use_cmap: true, ..Default::default() },
+            );
+            assert_eq!(on, off, "pattern {pattern}");
+            assert_eq!(on, off_cmap, "pattern {pattern} (cmap)");
+        }
+    }
+
+    #[test]
+    fn induced_motif_counts_on_small_oracle() {
+        // A triangle with a pendant vertex: motifs of size 3 are
+        // 1 triangle + 2 wedges (1-2-3 center 2 and 0-2-3 center 2).
+        let g = fm_graph::GraphBuilder::new()
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .edge(2, 3)
+            .build()
+            .unwrap();
+        let motifs = fm_pattern::motifs::motifs(3);
+        let plan = compile_multi(&motifs, CompileOptions::induced());
+        let counts = count(&g, &plan, &EngineConfig::default());
+        // motifs(3) is [wedge, triangle].
+        assert_eq!(counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn multi_pattern_matches_individual_runs() {
+        let g = generators::powerlaw_cluster(100, 4, 0.5, 21);
+        let patterns = [Pattern::diamond(), Pattern::tailed_triangle()];
+        let multi = compile_multi(&patterns, CompileOptions::default());
+        let together = count(&g, &multi, &EngineConfig::default());
+        for (i, p) in patterns.iter().enumerate() {
+            let single = compile(p, CompileOptions::default());
+            assert_eq!(count(&g, &single, &EngineConfig::default())[0], together[i]);
+        }
+    }
+
+    #[test]
+    fn collected_matches_are_valid_embeddings() {
+        let g = generators::erdos_renyi(30, 0.3, 5);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let prepared = prepare_graph(&g, &plan);
+        let mut ex = Executor::new(&prepared, &plan, &EngineConfig::default());
+        ex.collect_matches();
+        ex.run_range(0, prepared.num_vertices() as u32);
+        let matches: Vec<_> = ex.matches().to_vec();
+        let result = ex.finish();
+        assert_eq!(matches.len() as u64, result.counts[0]);
+        for (pi, emb) in &matches {
+            assert_eq!(*pi, 0);
+            assert_eq!(emb.len(), 4);
+            // Matching-order adjacency: v1,v2 ∈ N(v0); v3 ∈ N(v1) ∩ N(v2).
+            assert!(g.has_edge(emb[0], emb[1]));
+            assert!(g.has_edge(emb[0], emb[2]));
+            assert!(g.has_edge(emb[3], emb[1]));
+            assert!(g.has_edge(emb[3], emb[2]));
+            // Symmetry order: v1 < v0, v2 < v1, v3 < v0.
+            assert!(emb[1] < emb[0] && emb[2] < emb[1] && emb[3] < emb[0]);
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_zero() {
+        let g = fm_graph::GraphBuilder::new().vertices(5).build().unwrap();
+        let plan = compile(&Pattern::triangle(), CompileOptions::default());
+        assert_eq!(count(&g, &plan, &EngineConfig::default()), vec![0]);
+    }
+}

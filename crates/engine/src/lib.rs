@@ -1,0 +1,85 @@
+//! # fm-engine
+//!
+//! Software GPM engines for the FlexMiner (ISCA 2021) reproduction — the
+//! CPU baselines the paper compares against, all driven by the same
+//! [`fm_plan::ExecutionPlan`] IR that configures the hardware simulator.
+//!
+//! Engines provided:
+//!
+//! * **GraphZero model** — plan with symmetry breaking + frontier-list
+//!   memoization, merge-based set intersection/difference
+//!   ([`setops`]), recursive DFS ([`executor`]), optionally multithreaded
+//!   with one task per start vertex ([`parallel`]). This is the paper's CPU
+//!   baseline (§VII-A).
+//! * **AutoMine model** — the same executor on a plan compiled without
+//!   symmetry bounds ([`fm_plan::CompileOptions::automine`]); each
+//!   embedding is found |Aut(P)| times, modelling AutoMine's larger search
+//!   space.
+//! * **Pattern-oblivious model** ([`oblivious`]) — ESU-style enumeration of
+//!   all connected k-subgraphs plus explicit isomorphism tests, the search
+//!   strategy of Gramer [90] (§III).
+//! * **Software c-map** ([`cmap`]) — hash- and vector-backed connectivity
+//!   maps implementing the bulk, stack-disciplined insert/delete semantics
+//!   of §VI, used for memoization ablations and as the functional model the
+//!   hardware c-map is validated against.
+//!
+//! All engines report [`WorkCounters`] (set-operation iterations,
+//! comparisons, c-map traffic) used by the motivation study (Fig. 7 and the
+//! branch-misprediction discussion of §III).
+//!
+//! # Examples
+//!
+//! ```
+//! use fm_engine::{mine, EngineConfig};
+//! use fm_graph::generators;
+//! use fm_pattern::Pattern;
+//! use fm_plan::{compile, CompileOptions};
+//!
+//! let g = generators::complete(5);
+//! let plan = compile(&Pattern::triangle(), CompileOptions::default());
+//! let result = mine(&g, &plan, &EngineConfig::default());
+//! assert_eq!(result.counts, vec![10]); // C(5,3) triangles in K5
+//! ```
+
+pub mod cmap;
+pub mod executor;
+pub mod oblivious;
+pub mod parallel;
+pub mod result;
+pub mod setops;
+
+pub use executor::{mine_single_threaded, Executor};
+pub use parallel::{mine, mine_prepared};
+pub use result::{MiningResult, WorkCounters};
+
+/// Configuration of the software mining engines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EngineConfig {
+    /// Worker threads (1 = run on the calling thread).
+    pub threads: usize,
+    /// Start vertices handed out per scheduling quantum.
+    pub chunk_size: usize,
+    /// Serve connectivity constraints from a software c-map
+    /// (Sandslash-style memoization [15, 21]) instead of merge-based set
+    /// operations.
+    pub use_cmap: bool,
+    /// Honor the plan's frontier-memoization hints. The paper keeps this
+    /// always on for fairness with GraphZero; disabling it is exposed for
+    /// ablation only.
+    pub frontier_memo: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        // A fine scheduling grain: power-law inputs concentrate work in a
+        // few hub start-vertices, and coarse chunks would serialize them.
+        EngineConfig { threads: 1, chunk_size: 4, use_cmap: false, frontier_memo: true }
+    }
+}
+
+impl EngineConfig {
+    /// Convenience: the default configuration with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig { threads, ..Self::default() }
+    }
+}

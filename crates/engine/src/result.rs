@@ -1,0 +1,132 @@
+//! Mining results and work counters.
+
+use fm_plan::ExecutionPlan;
+use std::ops::AddAssign;
+
+/// Instrumentation counters accumulated by the software engines.
+///
+/// These are the software analogues of the hardware event counters in the
+/// simulator, and back the motivation analysis of §III (set operations
+/// dominate; frequent comparisons cause branch mispredictions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WorkCounters {
+    /// Merge-loop iterations across all set intersections/differences
+    /// (each is one SIU/SDU cycle in hardware).
+    pub setop_iterations: u64,
+    /// Number of set-operation invocations.
+    pub setop_invocations: u64,
+    /// Element comparisons (branch proxy for the §III VTune study).
+    pub comparisons: u64,
+    /// Candidate vertices tested against bounds/constraints.
+    pub candidates_checked: u64,
+    /// Embedding extensions performed (search-tree edges walked).
+    pub extensions: u64,
+    /// c-map insertions (software c-map mode only).
+    pub cmap_inserts: u64,
+    /// c-map lookups.
+    pub cmap_queries: u64,
+    /// c-map lookups that found an entry.
+    pub cmap_hits: u64,
+    /// c-map invalidations on backtrack.
+    pub cmap_removes: u64,
+}
+
+impl AddAssign for WorkCounters {
+    fn add_assign(&mut self, o: WorkCounters) {
+        self.setop_iterations += o.setop_iterations;
+        self.setop_invocations += o.setop_invocations;
+        self.comparisons += o.comparisons;
+        self.candidates_checked += o.candidates_checked;
+        self.extensions += o.extensions;
+        self.cmap_inserts += o.cmap_inserts;
+        self.cmap_queries += o.cmap_queries;
+        self.cmap_hits += o.cmap_hits;
+        self.cmap_removes += o.cmap_removes;
+    }
+}
+
+/// The outcome of a mining run: one raw match count per plan pattern, plus
+/// work counters.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MiningResult {
+    /// Raw matches found per pattern (in plan pattern order).
+    pub counts: Vec<u64>,
+    /// Aggregated work counters.
+    pub work: WorkCounters,
+}
+
+impl MiningResult {
+    /// Creates an empty result sized for `patterns` patterns.
+    pub fn empty(patterns: usize) -> Self {
+        MiningResult { counts: vec![0; patterns], work: WorkCounters::default() }
+    }
+
+    /// Merges another result into this one (used by the parallel driver).
+    pub fn merge(&mut self, other: &MiningResult) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.work += other.work;
+    }
+
+    /// Unique embedding counts: raw counts divided by |Aut(P)| when the
+    /// plan does not break symmetry (AutoMine mode), raw counts otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a raw count is not divisible by the automorphism count —
+    /// that would indicate an engine bug (and is asserted in tests).
+    pub fn unique_counts(&self, plan: &ExecutionPlan) -> Vec<u64> {
+        self.counts
+            .iter()
+            .zip(&plan.patterns)
+            .map(|(&c, meta)| {
+                if plan.symmetry {
+                    c
+                } else {
+                    let auts = meta.automorphisms as u64;
+                    assert_eq!(c % auts, 0, "raw count must be a multiple of |Aut| = {auts}");
+                    c / auts
+                }
+            })
+            .collect()
+    }
+
+    /// Total raw matches across patterns.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts_and_work() {
+        let mut a = MiningResult {
+            counts: vec![1, 2],
+            work: WorkCounters { comparisons: 5, ..Default::default() },
+        };
+        let b = MiningResult {
+            counts: vec![10, 20],
+            work: WorkCounters { comparisons: 7, setop_iterations: 3, ..Default::default() },
+        };
+        a.merge(&b);
+        assert_eq!(a.counts, vec![11, 22]);
+        assert_eq!(a.work.comparisons, 12);
+        assert_eq!(a.work.setop_iterations, 3);
+        assert_eq!(a.total(), 33);
+    }
+
+    #[test]
+    fn merge_grows_count_vector() {
+        let mut a = MiningResult::empty(1);
+        let b = MiningResult { counts: vec![1, 2, 3], ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.counts, vec![1, 2, 3]);
+    }
+}

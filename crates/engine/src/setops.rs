@@ -1,0 +1,239 @@
+//! Merge-based set operations on sorted adjacency lists.
+//!
+//! "SIU/SDU uses the well-known merge-based algorithm [39, 42] and its
+//! hardware structure is shown in Fig. 9. Our specialized SIU and SDU
+//! perform one loop iteration (the while loop in Fig. 9) per cycle" (§IV-A).
+//! The `iterations` counter below therefore equals the SIU/SDU cycle count
+//! charged by the hardware model, and the software baselines pay for the
+//! same loop in CPU comparisons/branches (§III).
+
+use crate::result::WorkCounters;
+use fm_graph::VertexId;
+
+/// Intersection of two strictly-ascending slices, appended to `out`.
+///
+/// One merge-loop iteration is charged per advance of either cursor.
+pub fn intersect_into(
+    a: &[VertexId],
+    b: &[VertexId],
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    work.setop_invocations += 1;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+}
+
+/// Like [`intersect_into`], but stops once elements reach `bound`
+/// (exclusive). The symmetry-order vid upper bounds let merges terminate
+/// early on sorted lists — a pruning the paper's bounded `pruneBy`
+/// exploits.
+pub fn intersect_bounded_into(
+    a: &[VertexId],
+    b: &[VertexId],
+    bound: VertexId,
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    work.setop_invocations += 1;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        work.setop_iterations += 1;
+        work.comparisons += 2;
+        if a[i] >= bound || b[j] >= bound {
+            break;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+}
+
+/// Difference `a \ b` of two strictly-ascending slices, appended to `out`.
+pub fn difference_into(
+    a: &[VertexId],
+    b: &[VertexId],
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    work.setop_invocations += 1;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        work.setop_iterations += 1;
+        if j >= b.len() {
+            out.push(a[i]);
+            i += 1;
+            continue;
+        }
+        work.comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+}
+
+/// Counts `|a ∩ b|` without materializing (used by triangle-count style
+/// leaves and microbenchmarks).
+pub fn intersect_count(a: &[VertexId], b: &[VertexId], work: &mut WorkCounters) -> u64 {
+    work.setop_invocations += 1;
+    let (mut i, mut j) = (0, 0);
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    n
+}
+
+/// Galloping (binary-search) intersection: preferable when `|a| ≪ |b|`.
+/// Provided for the set-operation ablation benchmarks; the engines and the
+/// hardware model use the merge algorithm to match GraphZero and the SIU
+/// ("we use the same merge-based algorithm as that is used in GraphZero to
+/// make fair comparison", §VII-B).
+pub fn intersect_galloping_into(
+    a: &[VertexId],
+    b: &[VertexId],
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    work.setop_invocations += 1;
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut lo = 0usize;
+    for &x in small {
+        work.setop_iterations += 1;
+        match large[lo..].binary_search(&x) {
+            Ok(pos) => {
+                work.comparisons += (large.len() - lo).max(1).ilog2() as u64 + 1;
+                out.push(x);
+                lo += pos + 1;
+            }
+            Err(pos) => {
+                work.comparisons += (large.len() - lo).max(1).ilog2() as u64 + 1;
+                lo += pos;
+            }
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn intersect_matches_btreeset() {
+        let a = v(&[1, 3, 5, 7, 9]);
+        let b = v(&[2, 3, 4, 7, 10]);
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_into(&a, &b, &mut out, &mut w);
+        assert_eq!(out, v(&[3, 7]));
+        assert!(w.setop_iterations > 0);
+        assert_eq!(w.setop_invocations, 1);
+    }
+
+    #[test]
+    fn bounded_intersection_stops_early() {
+        let a = v(&[1, 3, 5, 7, 9]);
+        let b = v(&[1, 3, 5, 7, 9]);
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_bounded_into(&a, &b, VertexId(6), &mut out, &mut w);
+        assert_eq!(out, v(&[1, 3, 5]));
+        // Early exit: at most 4 iterations for 3 results + the bound check.
+        assert!(w.setop_iterations <= 4);
+    }
+
+    #[test]
+    fn difference_matches_btreeset() {
+        let a = v(&[1, 2, 3, 4, 5]);
+        let b = v(&[2, 4, 6]);
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        difference_into(&a, &b, &mut out, &mut w);
+        assert_eq!(out, v(&[1, 3, 5]));
+    }
+
+    #[test]
+    fn difference_with_empty_subtrahend_copies() {
+        let a = v(&[1, 2, 3]);
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        difference_into(&a, &[], &mut out, &mut w);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn count_agrees_with_materialized() {
+        let a = v(&[0, 2, 4, 6, 8, 10]);
+        let b = v(&[3, 4, 5, 6, 7]);
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_into(&a, &b, &mut out, &mut w);
+        assert_eq!(intersect_count(&a, &b, &mut w), out.len() as u64);
+    }
+
+    #[test]
+    fn galloping_agrees_with_merge() {
+        let a = v(&[5, 100, 250]);
+        let b: Vec<VertexId> = (0..300).map(VertexId).collect();
+        let mut merge_out = Vec::new();
+        let mut gallop_out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_into(&a, &b, &mut merge_out, &mut w);
+        intersect_galloping_into(&a, &b, &mut gallop_out, &mut w);
+        assert_eq!(merge_out, gallop_out);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_into(&[], &v(&[1]), &mut out, &mut w);
+        assert!(out.is_empty());
+        intersect_bounded_into(&v(&[1]), &[], VertexId(10), &mut out, &mut w);
+        assert!(out.is_empty());
+        assert_eq!(intersect_count(&[], &[], &mut w), 0);
+    }
+}

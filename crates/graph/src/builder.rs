@@ -1,0 +1,183 @@
+//! Incremental construction of simple, symmetric graphs.
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+
+/// Builder for [`CsrGraph`] values.
+///
+/// The builder accepts an arbitrary multiset of undirected edges and
+/// produces a *simple, symmetric* graph: self loops are rejected, duplicate
+/// edges (in either direction) are collapsed, both directions of every edge
+/// are materialized, and every adjacency list is sorted ascending — exactly
+/// the input format the paper requires of its datasets (Table I).
+///
+/// # Examples
+///
+/// ```
+/// use fm_graph::GraphBuilder;
+///
+/// // Duplicates and reversed duplicates collapse to a single edge.
+/// let g = GraphBuilder::new()
+///     .edge(0, 1)
+///     .edge(1, 0)
+///     .edge(0, 1)
+///     .build()?;
+/// assert_eq!(g.num_undirected_edges(), 1);
+/// # Ok::<(), fm_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32)>,
+    min_vertices: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an undirected edge between `u` and `v` (self loops are dropped
+    /// silently; see [`GraphBuilder::try_edge`] to treat them as errors).
+    ///
+    /// Returns `self` for chaining. Consuming-builder style is used because
+    /// graph construction is typically a one-shot pipeline.
+    #[must_use]
+    pub fn edge(mut self, u: u32, v: u32) -> Self {
+        if u != v {
+            self.edges.push((u, v));
+        }
+        self
+    }
+
+    /// Adds an undirected edge, failing on self loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v`.
+    pub fn try_edge(mut self, u: u32, v: u32) -> Result<Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.edges.push((u, v));
+        Ok(self)
+    }
+
+    /// Adds every edge from an iterator of `(u, v)` pairs.
+    #[must_use]
+    pub fn edges<I: IntoIterator<Item = (u32, u32)>>(mut self, iter: I) -> Self {
+        for (u, v) in iter {
+            if u != v {
+                self.edges.push((u, v));
+            }
+        }
+        self
+    }
+
+    /// Ensures the built graph has at least `n` vertices, even if the
+    /// highest-numbered ones are isolated.
+    #[must_use]
+    pub fn vertices(mut self, n: usize) -> Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// Finalizes the builder into a validated [`CsrGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooManyVertices`] if more than `u32::MAX`
+    /// vertices would be required.
+    pub fn build(self) -> Result<CsrGraph, GraphError> {
+        let n = self
+            .edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.min_vertices);
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyVertices(n));
+        }
+
+        // Symmetrize, then sort + dedup per adjacency list via a global sort.
+        let mut directed = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            directed.push((u, v));
+            directed.push((v, u));
+        }
+        directed.sort_unstable();
+        directed.dedup();
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &directed {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors = directed.into_iter().map(|(_, v)| VertexId(v)).collect();
+        CsrGraph::from_parts(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_symmetric_simple_graph() {
+        let g = GraphBuilder::new()
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .edge(2, 1) // duplicate, reversed
+            .build()
+            .unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_undirected_edges(), 3);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn self_loops_are_dropped_by_edge() {
+        let g = GraphBuilder::new().edge(0, 0).edge(0, 1).build().unwrap();
+        assert_eq!(g.num_undirected_edges(), 1);
+        assert!(!g.has_edge(VertexId(0), VertexId(0)));
+    }
+
+    #[test]
+    fn try_edge_rejects_self_loops() {
+        let err = GraphBuilder::new().try_edge(4, 4).unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop(4)));
+    }
+
+    #[test]
+    fn vertices_pads_isolated_vertices() {
+        let g = GraphBuilder::new().edge(0, 1).vertices(5).build().unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(VertexId(4)), 0);
+    }
+
+    #[test]
+    fn empty_builder_produces_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_directed_edges(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_form_matches_chained_form() {
+        let a = GraphBuilder::new().edges([(0, 1), (1, 2)]).build().unwrap();
+        let b = GraphBuilder::new().edge(0, 1).edge(1, 2).build().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let g = GraphBuilder::new().edge(5, 0).edge(5, 3).edge(5, 1).build().unwrap();
+        let ns: Vec<u32> = g.neighbors(VertexId(5)).iter().map(|v| v.0).collect();
+        assert_eq!(ns, vec![0, 1, 3]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Graph serialization: text edge lists and a compact binary CSR format.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Magic bytes identifying the binary CSR format.
+const CSR_MAGIC: &[u8; 8] = b"FMCSR\x01\x00\x00";
+
+/// Reads a whitespace-separated edge list (`u v` per line, `#`-prefixed
+/// comments and blank lines ignored) and builds a simple symmetric graph.
+///
+/// This is the SNAP text format the paper's datasets ship in; self loops and
+/// duplicates in the input are cleaned up, matching the paper's preprocessed
+/// inputs. A `# vertices N` comment (as written by [`write_edge_list`])
+/// fixes the vertex count, preserving trailing isolated vertices.
+///
+/// A mutable reference can be passed for `reader` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines and [`GraphError::Io`]
+/// for underlying IO failures.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            if let Some(rest) = line.strip_prefix("# vertices ") {
+                if let Ok(n) = rest.trim().parse::<usize>() {
+                    builder = builder.vertices(n);
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two vertex ids".into(),
+            })?
+            .parse::<u32>()
+            .map_err(|e| GraphError::Parse { line: lineno + 1, message: e.to_string() })
+        };
+        let u = parse(it.next(), lineno)?;
+        let v = parse(it.next(), lineno)?;
+        if it.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: "trailing tokens after edge".into(),
+            });
+        }
+        builder = builder.edge(u, v);
+    }
+    builder.build()
+}
+
+/// Writes a `# vertices N` header followed by each undirected edge as a
+/// `u v` line.
+///
+/// # Errors
+///
+/// Propagates IO failures from `writer`.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {}", g.num_vertices())?;
+    for (u, v) in g.undirected_edges() {
+        writeln!(w, "{} {}", u.0, v.0)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the graph in the compact binary CSR format (little-endian):
+/// magic, `u64` vertex count, `u64` adjacency length, `u64` offsets,
+/// `u32` neighbor ids.
+///
+/// # Errors
+///
+/// Propagates IO failures from `writer`.
+pub fn write_csr<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(CSR_MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_directed_edges() as u64).to_le_bytes())?;
+    for &off in g.offsets() {
+        w.write_all(&(off as u64).to_le_bytes())?;
+    }
+    for &v in g.neighbor_array() {
+        w.write_all(&v.0.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph previously written by [`write_csr`], re-validating all CSR
+/// invariants.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on a bad magic/truncated stream and any
+/// validation error from [`CsrGraph::from_parts`].
+pub fn read_csr<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != CSR_MAGIC {
+        return Err(GraphError::Parse { line: 0, message: "bad csr magic".into() });
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut buf8)?;
+        offsets.push(u64::from_le_bytes(buf8) as usize);
+    }
+    let mut neighbors = Vec::with_capacity(m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        neighbors.push(VertexId(u32::from_le_bytes(buf4)));
+    }
+    CsrGraph::from_parts(offsets, neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = generators::erdos_renyi(40, 0.15, 2);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn edge_list_ignores_comments_and_blanks() {
+        let text = "# snap-style header\n\n0 1\n 1 2 \n# done\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_undirected_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(matches!(
+            read_edge_list("0 x".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(read_edge_list("0".as_bytes()), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(
+            read_edge_list("0 1 2\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn edge_list_cleans_self_loops_and_duplicates() {
+        let g = read_edge_list("0 0\n0 1\n1 0\n0 1\n".as_bytes()).unwrap();
+        assert_eq!(g.num_undirected_edges(), 1);
+    }
+
+    #[test]
+    fn binary_csr_round_trip() {
+        let g = generators::preferential_attachment(120, 3, 77);
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        let back = read_csr(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn binary_csr_rejects_bad_magic() {
+        let err = read_csr(&b"NOTACSR!rest"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn binary_csr_rejects_truncation() {
+        let g = generators::complete(4);
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_csr(buf.as_slice()), Err(GraphError::Io(_))));
+    }
+}

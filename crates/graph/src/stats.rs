@@ -1,0 +1,107 @@
+//! Graph statistics for dataset characterization (Table I of the paper).
+
+use crate::csr::CsrGraph;
+use std::fmt;
+
+/// Summary statistics of a graph, mirroring the columns of Table I in the
+/// paper (|V|, |E|, maximum degree, average degree).
+///
+/// # Examples
+///
+/// ```
+/// use fm_graph::{generators, GraphStats};
+///
+/// let g = generators::complete(5);
+/// let s = GraphStats::of(&g);
+/// assert_eq!(s.vertices, 5);
+/// assert_eq!(s.undirected_edges, 10);
+/// assert_eq!(s.max_degree, 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct GraphStats {
+    /// Number of vertices (|V|).
+    pub vertices: usize,
+    /// Number of undirected edges (|E|).
+    pub undirected_edges: usize,
+    /// Maximum degree (d in Table I).
+    pub max_degree: usize,
+    /// Average degree (directed adjacency entries per vertex).
+    pub avg_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g` (assumed symmetric, as built by
+    /// [`GraphBuilder`](crate::GraphBuilder)).
+    pub fn of(g: &CsrGraph) -> Self {
+        GraphStats {
+            vertices: g.num_vertices(),
+            undirected_edges: g.num_undirected_edges(),
+            max_degree: g.max_degree(),
+            avg_degree: g.avg_degree(),
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} dmax={} davg={:.1}",
+            self.vertices, self.undirected_edges, self.max_degree, self.avg_degree
+        )
+    }
+}
+
+/// Degree histogram: `histogram[d]` is the number of vertices of degree `d`.
+///
+/// Used by the dataset stand-in calibration to verify the synthetic graphs
+/// have the heavy-tailed shape the paper's evaluation relies on.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn stats_of_star() {
+        let s = GraphStats::of(&generators::star(9));
+        assert_eq!(s.vertices, 10);
+        assert_eq!(s.undirected_edges, 9);
+        assert_eq!(s.max_degree, 9);
+        assert!((s.avg_degree - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = GraphStats::of(&generators::complete(3));
+        let text = s.to_string();
+        assert!(text.contains("|V|=3"));
+        assert!(text.contains("|E|=3"));
+        assert!(text.contains("dmax=2"));
+    }
+
+    #[test]
+    fn histogram_sums_to_vertex_count() {
+        let g = generators::preferential_attachment(200, 2, 1);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.num_vertices());
+        // Histogram of degrees weighted by degree = directed edges.
+        let weighted: usize = hist.iter().enumerate().map(|(d, c)| d * c).sum();
+        assert_eq!(weighted, g.num_directed_edges());
+    }
+
+    #[test]
+    fn histogram_of_regular_graph_is_single_bucket() {
+        let g = generators::cycle(12);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[2], 12);
+        assert_eq!(hist.iter().sum::<usize>(), 12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Vertex identifiers.
+
+use std::fmt;
+
+/// Identifier of a vertex in a data graph.
+///
+/// FlexMiner represents vertex ids as 32-bit integers: the hardware c-map
+/// stores a 4-byte key per entry (§VI-A of the paper), so graphs are limited
+/// to `u32::MAX` vertices — the same limit as the original system.
+///
+/// The tuple field is public on purpose: `VertexId` is a plain passive
+/// identifier, and the symmetry-order checks in the mining inner loop compare
+/// raw ids directly.
+///
+/// # Examples
+///
+/// ```
+/// use fm_graph::VertexId;
+///
+/// let v = VertexId(7);
+/// assert_eq!(v.index(), 7);
+/// assert!(v < VertexId(8));
+/// assert_eq!(v.to_string(), "v7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Returns the id as a `usize`, suitable for indexing per-vertex arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(raw: u32) -> Self {
+        VertexId(raw)
+    }
+}
+
+impl From<VertexId> for u32 {
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(VertexId(3) < VertexId(4));
+        assert_eq!(VertexId(9), VertexId(9));
+        assert!(VertexId(10) > VertexId(2));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v: VertexId = 42u32.into();
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(v.index(), 42);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_prefixed() {
+        assert_eq!(VertexId(0).to_string(), "v0");
+    }
+}

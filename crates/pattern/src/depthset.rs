@@ -1,0 +1,261 @@
+//! Small bitsets over DFS depths / pattern-vertex positions.
+
+use std::fmt;
+
+/// A set of DFS depths (equivalently, pattern-vertex positions), stored as a
+/// bitmask.
+///
+/// This is the software analogue of the c-map *value* in the paper (§II-C):
+/// "the value is a list of depths of vertices in the current embedding which
+/// are connected to v. This list is implemented as a bitset to save space."
+/// It is also used for connected-ancestor sets in execution plans.
+///
+/// Supports depths `0..64`, far beyond the ≤16-vertex patterns this
+/// workspace handles.
+///
+/// # Examples
+///
+/// ```
+/// use fm_pattern::DepthSet;
+///
+/// let mut s = DepthSet::new();
+/// s.insert(0);
+/// s.insert(2);
+/// assert!(s.contains(0) && !s.contains(1));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2]);
+/// assert_eq!(s.to_string(), "{0,2}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DepthSet(u64);
+
+impl DepthSet {
+    /// The empty set.
+    pub const fn new() -> Self {
+        DepthSet(0)
+    }
+
+    /// Builds a set from an iterator of depths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any depth is ≥ 64.
+    pub fn from_depths<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = DepthSet::new();
+        for d in iter {
+            s.insert(d);
+        }
+        s
+    }
+
+    /// Inserts `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= 64`.
+    #[inline]
+    pub fn insert(&mut self, depth: usize) {
+        assert!(depth < 64, "depth {depth} out of range for DepthSet");
+        self.0 |= 1 << depth;
+    }
+
+    /// Removes `depth` if present.
+    #[inline]
+    pub fn remove(&mut self, depth: usize) {
+        if depth < 64 {
+            self.0 &= !(1 << depth);
+        }
+    }
+
+    /// Whether `depth` is in the set.
+    #[inline]
+    pub fn contains(self, depth: usize) -> bool {
+        depth < 64 && (self.0 >> depth) & 1 == 1
+    }
+
+    /// Number of depths in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        DepthSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: Self) -> Self {
+        DepthSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn difference(self, other: Self) -> Self {
+        DepthSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The smallest depth in the set, if any.
+    #[inline]
+    pub fn min(self) -> Option<usize> {
+        (!self.is_empty()).then(|| self.0.trailing_zeros() as usize)
+    }
+
+    /// The largest depth in the set, if any.
+    #[inline]
+    pub fn max(self) -> Option<usize> {
+        (!self.is_empty()).then(|| 63 - self.0.leading_zeros() as usize)
+    }
+
+    /// Iterates depths in ascending order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The raw bitmask (bit `d` set ⇔ depth `d` in the set). This is exactly
+    /// the c-map value encoding used by the hardware model.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a set from a raw bitmask.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        DepthSet(bits)
+    }
+}
+
+/// Iterator over the depths of a [`DepthSet`], ascending.
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let d = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(d)
+        }
+    }
+}
+
+impl IntoIterator for DepthSet {
+    type Item = usize;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for DepthSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        DepthSet::from_depths(iter)
+    }
+}
+
+impl Extend<usize> for DepthSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for d in iter {
+            self.insert(d);
+        }
+    }
+}
+
+impl fmt::Display for DepthSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DepthSet::new();
+        assert!(s.is_empty());
+        s.insert(5);
+        s.insert(0);
+        assert!(s.contains(5) && s.contains(0) && !s.contains(1));
+        assert_eq!(s.len(), 2);
+        s.remove(5);
+        assert!(!s.contains(5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = DepthSet::from_depths([0, 1, 3]);
+        let b = DepthSet::from_depths([1, 2]);
+        assert_eq!(a.union(b), DepthSet::from_depths([0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), DepthSet::from_depths([1]));
+        assert_eq!(a.difference(b), DepthSet::from_depths([0, 3]));
+        assert!(DepthSet::from_depths([1]).is_subset(a));
+        assert!(!a.is_subset(b));
+    }
+
+    #[test]
+    fn min_max_and_iteration_order() {
+        let s = DepthSet::from_depths([7, 2, 4]);
+        assert_eq!(s.min(), Some(2));
+        assert_eq!(s.max(), Some(7));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 4, 7]);
+        assert_eq!(DepthSet::new().min(), None);
+        assert_eq!(DepthSet::new().max(), None);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let s = DepthSet::from_depths([0, 2]);
+        assert_eq!(s.bits(), 0b101);
+        assert_eq!(DepthSet::from_bits(0b101), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        DepthSet::new().insert(64);
+    }
+
+    #[test]
+    fn display_nonempty_and_empty() {
+        assert_eq!(DepthSet::from_depths([1, 2]).to_string(), "{1,2}");
+        assert_eq!(DepthSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: DepthSet = [3usize, 1].into_iter().collect();
+        let mut t = s;
+        t.extend([5usize]);
+        assert_eq!(t, DepthSet::from_depths([1, 3, 5]));
+    }
+}

@@ -1,0 +1,135 @@
+//! Enumeration of k-vertex motifs.
+//!
+//! A *motif* is a connected pattern with k vertices; k-motif counting
+//! (k-MC, §II-A) counts vertex-induced occurrences of every k-motif
+//! simultaneously. Fig. 3 of the paper shows the 2 three-vertex motifs
+//! (wedge, triangle) and the 6 four-vertex motifs (3-path, 3-star, 4-cycle,
+//! tailed triangle, diamond, 4-clique).
+
+use crate::pattern::Pattern;
+
+/// Returns all connected k-vertex patterns up to isomorphism, sorted by
+/// ascending edge count then canonical code (deterministic order: sparsest
+/// motif first, the k-clique always last).
+///
+/// Enumeration is over all `2^(k(k-1)/2)` labelled graphs, so this is
+/// intended for k ≤ 6 (the paper evaluates 3-MC; 4- and 5-motifs are
+/// common extensions).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 6`.
+///
+/// # Examples
+///
+/// ```
+/// use fm_pattern::{motifs, Pattern};
+///
+/// let three = motifs::motifs(3);
+/// assert_eq!(three.len(), 2);
+/// assert!(three[0].is_isomorphic(&Pattern::wedge()));
+/// assert!(three[1].is_isomorphic(&Pattern::triangle()));
+/// ```
+pub fn motifs(k: usize) -> Vec<Pattern> {
+    assert!(k >= 1, "motifs need at least one vertex");
+    assert!(k <= 6, "motif enumeration is exponential; limited to k <= 6");
+    if k == 1 {
+        return vec![Pattern::from_edges(1, &[]).expect("single vertex is valid")];
+    }
+    let pair_count = k * (k - 1) / 2;
+    let pairs: Vec<(usize, usize)> = {
+        let mut v = Vec::with_capacity(pair_count);
+        for u in 0..k {
+            for w in (u + 1)..k {
+                v.push((u, w));
+            }
+        }
+        v
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out: Vec<Pattern> = Vec::new();
+    for mask in 0u64..(1 << pair_count) {
+        let edges: Vec<(usize, usize)> =
+            pairs.iter().enumerate().filter(|(i, _)| (mask >> i) & 1 == 1).map(|(_, &e)| e).collect();
+        if let Ok(p) = Pattern::from_edges(k, &edges) {
+            if seen.insert(p.canonical_code()) {
+                out.push(p);
+            }
+        }
+    }
+    out.sort_by_key(|p| (p.edge_count(), p.canonical_code()));
+    out
+}
+
+/// A short human-readable name for each 3- or 4-vertex motif, matching the
+/// terminology of Fig. 3; falls back to `k{size}e{edges}` elsewhere.
+pub fn motif_name(p: &Pattern) -> String {
+    let named: &[(&str, Pattern)] = &[
+        ("wedge", Pattern::wedge()),
+        ("triangle", Pattern::triangle()),
+        ("3-path", Pattern::path(4)),
+        ("3-star", Pattern::star(3)),
+        ("4-cycle", Pattern::cycle(4)),
+        ("tailed-triangle", Pattern::tailed_triangle()),
+        ("diamond", Pattern::diamond()),
+        ("4-clique", Pattern::k_clique(4)),
+    ];
+    for (name, q) in named {
+        if p.is_isomorphic(q) {
+            return (*name).to_string();
+        }
+    }
+    format!("k{}e{}", p.size(), p.edge_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motif_counts_match_oeis() {
+        // Connected graphs on n nodes: 1, 1, 2, 6, 21, 112 (OEIS A001349).
+        assert_eq!(motifs(1).len(), 1);
+        assert_eq!(motifs(2).len(), 1);
+        assert_eq!(motifs(3).len(), 2);
+        assert_eq!(motifs(4).len(), 6);
+        assert_eq!(motifs(5).len(), 21);
+    }
+
+    #[test]
+    fn four_motifs_are_the_figure_three_set() {
+        let ms = motifs(4);
+        let names: Vec<String> = ms.iter().map(motif_name).collect();
+        // Sorted by edge count: path & star (3 edges), cycle & tailed
+        // triangle (4), diamond (5), clique (6).
+        assert_eq!(names.len(), 6);
+        assert!(names[..2].contains(&"3-path".to_string()));
+        assert!(names[..2].contains(&"3-star".to_string()));
+        assert!(names[2..4].contains(&"4-cycle".to_string()));
+        assert!(names[2..4].contains(&"tailed-triangle".to_string()));
+        assert_eq!(names[4], "diamond");
+        assert_eq!(names[5], "4-clique");
+    }
+
+    #[test]
+    fn motifs_are_pairwise_non_isomorphic() {
+        let ms = motifs(5);
+        for i in 0..ms.len() {
+            for j in (i + 1)..ms.len() {
+                assert!(!ms[i].is_isomorphic(&ms[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn motif_name_fallback() {
+        let p = Pattern::cycle(5);
+        assert_eq!(motif_name(&p), "k5e5");
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn large_k_panics() {
+        let _ = motifs(7);
+    }
+}

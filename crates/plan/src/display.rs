@@ -1,0 +1,155 @@
+//! Listing-style pretty printing of execution plans.
+//!
+//! Reproduces the textual IR of the paper's Listing 1 / Listing 2: a
+//! `vertex:` section with one `pruneBy` line per plan node and an
+//! `embedding:` section showing the dependency chain/tree.
+
+use crate::ir::{ExecutionPlan, Extender, FrontierHint, PlanNode};
+use std::fmt;
+
+impl fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "vertex:")?;
+        let mut names = Vec::new();
+        write_vertex_section(f, &self.root, &mut names, &mut 0)?;
+        writeln!(f, "embedding:")?;
+        let mut counter = 0usize;
+        write_embedding_section(f, &self.root, None, &mut counter, &names, self)?;
+        if self.orientation {
+            writeln!(f, "directive: orient data graph into a DAG (k-clique)")?;
+        }
+        if self.induced {
+            writeln!(f, "directive: vertex-induced matching")?;
+        }
+        Ok(())
+    }
+}
+
+/// Assigns display names `v0, v1, …` (with disambiguating suffixes for
+/// sibling branches, like the paper's `v31`/`v32`) in DFS order.
+fn write_vertex_section(
+    f: &mut fmt::Formatter<'_>,
+    node: &PlanNode,
+    names: &mut Vec<String>,
+    next: &mut usize,
+) -> fmt::Result {
+    let my_index = *next;
+    *next += 1;
+    let name = display_name(node, my_index, names);
+    names.push(name.clone());
+
+    let op = &node.op;
+    let source = match op.extender {
+        Extender::Root => "V".to_string(),
+        Extender::Level(l) => format!("v{l}.N"),
+    };
+    let bound = if op.upper_bounds.is_empty() {
+        "∞".to_string()
+    } else {
+        let parts: Vec<String> = op.upper_bounds.iter().map(|l| format!("v{l}.id")).collect();
+        parts.join(" min ")
+    };
+    let conn: Vec<String> = op.connected.iter().map(|l| format!("v{l}")).collect();
+    write!(f, "  {name} ∈ {source} pruneBy({bound}, {{{}}})", conn.join(","))?;
+    if !op.disconnected.is_empty() {
+        let disc: Vec<String> = op.disconnected.iter().map(|l| format!("v{l}")).collect();
+        write!(f, " notAdj({{{}}})", disc.join(","))?;
+    }
+    match op.frontier {
+        FrontierHint::None => {}
+        FrontierHint::Reuse => write!(f, " [frontier:reuse]")?,
+        FrontierHint::Extend => write!(f, " [frontier:extend]")?,
+        FrontierHint::ExtendDiff => write!(f, " [frontier:extend-diff]")?,
+    }
+    if node.cmap_insert {
+        match node.cmap_insert_bound {
+            Some(l) => write!(f, " [cmap:insert<v{l}.id]")?,
+            None => write!(f, " [cmap:insert]")?,
+        }
+    }
+    writeln!(f)?;
+    for child in &node.children {
+        write_vertex_section(f, child, names, next)?;
+    }
+    Ok(())
+}
+
+/// `v{depth}` normally; `v{depth}{ordinal}` when siblings diverge at the
+/// same depth (Listing 2's `v31`, `v32`).
+fn display_name(node: &PlanNode, index: usize, names: &[String]) -> String {
+    let base = format!("v{}", node.op.depth);
+    if names.iter().any(|n| n.starts_with(&base)) {
+        let count = names.iter().filter(|n| n.starts_with(&base)).count();
+        format!("{base}{}", count + 1)
+    } else {
+        let _ = index;
+        base
+    }
+}
+
+fn write_embedding_section(
+    f: &mut fmt::Formatter<'_>,
+    node: &PlanNode,
+    parent_emb: Option<usize>,
+    counter: &mut usize,
+    names: &[String],
+    plan: &ExecutionPlan,
+) -> fmt::Result {
+    let my_emb = *counter;
+    let name = &names[my_emb];
+    *counter += 1;
+    match parent_emb {
+        None => writeln!(f, "  emb{my_emb} := {name}")?,
+        Some(p) => writeln!(f, "  emb{my_emb} := emb{p} + {name}")?,
+    }
+    if let Some(pi) = node.pattern_index {
+        writeln!(f, "    → matches pattern {} ({})", pi, plan.patterns[pi].name)?;
+    }
+    for child in &node.children {
+        write_embedding_section(f, child, Some(my_emb), counter, names, plan)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::{compile, compile_multi, CompileOptions};
+    use fm_pattern::Pattern;
+
+    #[test]
+    fn four_cycle_listing() {
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let text = plan.to_string();
+        assert!(text.contains("vertex:"), "{text}");
+        assert!(text.contains("v0 ∈ V pruneBy(∞, {})"), "{text}");
+        assert!(text.contains("v1 ∈ v0.N pruneBy(v0.id, {})"), "{text}");
+        assert!(text.contains("v2 ∈ v0.N pruneBy(v1.id, {})"), "{text}");
+        assert!(text.contains("v3 ∈ v2.N pruneBy(v0.id, {v1})"), "{text}");
+        assert!(text.contains("emb1 := emb0 + v1"), "{text}");
+        assert!(text.contains("matches pattern 0 (4-cycle)"), "{text}");
+        // §VI-B insertion hint on v1.
+        assert!(text.contains("[cmap:insert<v0.id]"), "{text}");
+    }
+
+    #[test]
+    fn multi_pattern_listing_disambiguates_branches() {
+        let plan = compile_multi(
+            &[Pattern::diamond(), Pattern::tailed_triangle()],
+            CompileOptions::default(),
+        );
+        let text = plan.to_string();
+        // Two level-3 siblings get distinct names (paper's v31/v32 style).
+        assert!(text.contains("v3 "), "{text}");
+        assert!(text.contains("v32 "), "{text}");
+        assert!(text.contains("matches pattern 0 (diamond)"), "{text}");
+        assert!(text.contains("matches pattern 1 (tailed-triangle)"), "{text}");
+    }
+
+    #[test]
+    fn directives_are_printed() {
+        let clique = compile(&Pattern::k_clique(4), CompileOptions::default());
+        assert!(clique.to_string().contains("orient data graph"));
+        let motif = compile_multi(&fm_pattern::motifs::motifs(3), CompileOptions::induced());
+        assert!(motif.to_string().contains("vertex-induced"));
+    }
+}

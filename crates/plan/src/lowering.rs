@@ -1,0 +1,256 @@
+//! Lowering of execution plans into executor-ready programs.
+//!
+//! Both the software engines (`fm-engine`) and the hardware simulator
+//! (`fm-sim`) run the same lowered [`Program`]: the plan's node tree
+//! flattened into an arena, with constraint sets expanded into index lists
+//! and the §VI-B storage hints re-derived for the *effective* frontier
+//! hints (an executor may disable frontier memoization for ablation, which
+//! widens the set of depths whose connectivity is queried, and therefore
+//! the set of levels that must be inserted into the c-map).
+
+use crate::ir::{ExecutionPlan, Extender, FrontierHint, PlanNode};
+use fm_pattern::DepthSet;
+
+/// Options controlling how a plan is lowered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LowerOptions {
+    /// Honor the plan's frontier-memoization hints (the paper's default).
+    pub frontier_memo: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions { frontier_memo: true }
+    }
+}
+
+/// An execution plan lowered into an arena of [`ProgNode`]s.
+///
+/// Node 0 is always the root op (`v0 ∈ V`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Arena of nodes; children refer to arena indices.
+    pub nodes: Vec<ProgNode>,
+    /// Number of DFS levels.
+    pub depth: usize,
+}
+
+/// One lowered plan node. See [`crate::VertexOp`] for the constraint
+/// semantics; the additional fields are executor-facing derivations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProgNode {
+    /// DFS depth this node extends to.
+    pub depth: usize,
+    /// Embedding index whose adjacency seeds the candidates; `None` for the
+    /// root (candidates = all vertices).
+    pub extender: Option<usize>,
+    /// Effective frontier hint.
+    pub frontier: FrontierHint,
+    /// Symmetry-order upper bounds (embedding indices).
+    pub upper_bounds: Vec<usize>,
+    /// Connectivity constraints beyond the extender.
+    pub connected: Vec<usize>,
+    /// Disconnection constraints (vertex-induced).
+    pub disconnected: Vec<usize>,
+    /// Embedding indices a candidate could collide with (injectivity).
+    pub injectivity: Vec<usize>,
+    /// Pattern completed at this node, if any.
+    pub pattern_index: Option<usize>,
+    /// Insert this level's neighbors into the c-map (recomputed §VI-B hint).
+    pub cmap_insert: bool,
+    /// Insertion vid filter: only neighbors `< emb[l]` (recomputed).
+    pub cmap_insert_bound: Option<usize>,
+    /// The materialized core may be truncated at the vid bound (no child
+    /// reuses it under looser bounds).
+    pub bounded_build: bool,
+    /// Whether this op resolves its constraints by *stream-and-probe*
+    /// when the c-map is available: stream the extender's adjacency and
+    /// answer all constraints with one c-map probe per candidate (§II-C).
+    /// The lowering enables this only when it pays off:
+    ///
+    /// * every probed level must sit at least two levels above this op
+    ///   (`l ≤ depth-2`), so its insertions amortize over the intermediate
+    ///   branching — probing the immediate parent level would insert a
+    ///   list that is used exactly once;
+    /// * `Extend`/`ExtendDiff` ops whose memoized frontier is already
+    ///   *refined* (the parent op had constraints of its own, e.g. deep
+    ///   k-clique levels) keep the cheap SIU frontier merge instead —
+    ///   which is why the paper sees only small c-map gains for k-CL
+    ///   while 4-cycle and TC benefit substantially (§VII-C).
+    pub probe: bool,
+    /// Child node indices.
+    pub children: Vec<usize>,
+}
+
+impl ProgNode {
+    /// The set of depths whose connectivity this node queries through the
+    /// c-map at runtime: the full constraint set when
+    /// [`probe`](Self::probe) is enabled, nothing otherwise (merge-based
+    /// ops and `Reuse` never touch the map).
+    pub fn queried_depths(&self) -> DepthSet {
+        if self.probe {
+            DepthSet::from_depths(self.connected.iter().copied())
+                .union(DepthSet::from_depths(self.disconnected.iter().copied()))
+        } else {
+            DepthSet::new()
+        }
+    }
+}
+
+/// Lowers `plan` for execution.
+///
+/// # Examples
+///
+/// ```
+/// use fm_pattern::Pattern;
+/// use fm_plan::{compile, CompileOptions};
+/// use fm_plan::lowering::{lower, LowerOptions};
+///
+/// let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+/// let prog = lower(&plan, LowerOptions::default());
+/// assert_eq!(prog.nodes.len(), 4);
+/// assert_eq!(prog.depth, 4);
+/// ```
+pub fn lower(plan: &ExecutionPlan, options: LowerOptions) -> Program {
+    let mut nodes = Vec::with_capacity(plan.node_count());
+    flatten(&plan.root, options, true, &mut nodes);
+    annotate(&mut nodes);
+    Program { nodes, depth: plan.depth() }
+}
+
+fn flatten(
+    plan_node: &PlanNode,
+    options: LowerOptions,
+    parent_unrefined: bool,
+    nodes: &mut Vec<ProgNode>,
+) -> usize {
+    let op = &plan_node.op;
+    let frontier = if options.frontier_memo { op.frontier } else { FrontierHint::None };
+    let full_connected = op.full_connected();
+    let injectivity = (0..op.depth).filter(|&l| !full_connected.contains(l)).collect();
+    let constraints = op.connected.union(op.disconnected);
+    let probe = !constraints.is_empty()
+        && constraints.max().expect("nonempty") + 2 <= op.depth
+        && match frontier {
+            FrontierHint::Reuse => false,
+            FrontierHint::None => true,
+            // A refined frontier makes the SIU merge cheaper than
+            // maintaining fresh insertions for the probe.
+            FrontierHint::Extend | FrontierHint::ExtendDiff => parent_unrefined,
+        };
+    let index = nodes.len();
+    nodes.push(ProgNode {
+        depth: op.depth,
+        extender: match op.extender {
+            Extender::Root => None,
+            Extender::Level(l) => Some(l),
+        },
+        frontier,
+        upper_bounds: op.upper_bounds.iter().collect(),
+        connected: op.connected.iter().collect(),
+        disconnected: op.disconnected.iter().collect(),
+        injectivity,
+        pattern_index: plan_node.pattern_index,
+        cmap_insert: false,
+        cmap_insert_bound: None,
+        bounded_build: false,
+        probe,
+        children: Vec::new(),
+    });
+    let unrefined = constraints.is_empty();
+    let mut children = Vec::with_capacity(plan_node.children.len());
+    for child in &plan_node.children {
+        children.push(flatten(child, options, unrefined, nodes));
+    }
+    nodes[index].children = children;
+    index
+}
+
+/// Recomputes the c-map hints and bounded-build flags for the effective
+/// frontier hints (same algorithm as the compiler's §VI-B pass).
+fn annotate(nodes: &mut [ProgNode]) {
+    for i in 0..nodes.len() {
+        let d = nodes[i].depth;
+        let known = DepthSet::from_depths(0..=d);
+        let mut queried = false;
+        let mut common: Option<DepthSet> = None;
+        let mut stack: Vec<usize> = nodes[i].children.clone();
+        while let Some(j) = stack.pop() {
+            let qs = nodes[j].queried_depths();
+            if qs.contains(d) {
+                queried = true;
+                let usable = DepthSet::from_depths(nodes[j].upper_bounds.iter().copied())
+                    .intersection(known);
+                common = Some(match common {
+                    None => usable,
+                    Some(c) => c.intersection(usable),
+                });
+            }
+            stack.extend(nodes[j].children.iter().copied());
+        }
+        nodes[i].cmap_insert = queried;
+        nodes[i].cmap_insert_bound = if queried { common.and_then(|s| s.min()) } else { None };
+        let children = nodes[i].children.clone();
+        nodes[i].bounded_build = !nodes[i].upper_bounds.is_empty()
+            && children.iter().all(|&c| nodes[c].frontier == FrontierHint::None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use fm_pattern::Pattern;
+
+    #[test]
+    fn lowering_preserves_structure() {
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let prog = lower(&plan, LowerOptions::default());
+        assert_eq!(prog.nodes[0].extender, None);
+        assert_eq!(prog.nodes[0].children, vec![1]);
+        assert_eq!(prog.nodes[3].pattern_index, Some(0));
+        // §VI-B hint survives lowering.
+        assert!(prog.nodes[1].cmap_insert);
+        assert_eq!(prog.nodes[1].cmap_insert_bound, Some(0));
+    }
+
+    #[test]
+    fn clique_inserts_shallow_levels_only() {
+        let plan = compile(&Pattern::k_clique(4), CompileOptions::default());
+        let prog = lower(&plan, LowerOptions::default());
+        // Level 2 (the first frontier-extension level) probes level 0,
+        // whose once-per-task insertion amortizes over the whole subtree;
+        // deeper clique levels keep the cheap SIU frontier merge, so
+        // nothing else is inserted.
+        assert!(prog.nodes[2].probe);
+        assert!(!prog.nodes[3].probe, "refined frontier keeps the SIU merge");
+        assert!(prog.nodes[0].cmap_insert);
+        assert!(!prog.nodes[1].cmap_insert);
+        assert!(!prog.nodes[2].cmap_insert);
+        // Without frontier memoization there is no merge alternative; the
+        // deep op probes both shallow levels, so level 1 inserts too.
+        let without = lower(&plan, LowerOptions { frontier_memo: false });
+        assert_eq!(without.nodes[3].frontier, FrontierHint::None);
+        assert!(without.nodes[3].probe);
+        assert!(without.nodes[0].cmap_insert);
+        assert!(without.nodes[1].cmap_insert);
+    }
+
+    #[test]
+    fn injectivity_excludes_connected_levels() {
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let prog = lower(&plan, LowerOptions::default());
+        // v3 connects to v1 (c-map) and v2 (extender): only v0 can collide.
+        assert_eq!(prog.nodes[3].injectivity, vec![0]);
+    }
+
+    #[test]
+    fn bounded_build_respects_reusing_children() {
+        let plan = compile(&Pattern::diamond(), CompileOptions::default());
+        let prog = lower(&plan, LowerOptions::default());
+        // v2 has no own bounds and its core is reused by v3 → no truncation.
+        assert!(!prog.nodes[2].bounded_build);
+        // v3 (leaf, bounded) may truncate.
+        assert!(prog.nodes[3].bounded_build);
+    }
+}

@@ -1,0 +1,94 @@
+//! Accelerator address map.
+//!
+//! The simulator derives cache-line addresses from a flat layout of the
+//! CSR arrays (as the paper stores them: "We represent the input graphs in
+//! the compressed sparse row (CSR) format"), plus a per-PE virtual region
+//! for materialized frontier lists (which live in the private cache and
+//! spill to the shared cache on eviction, §IV-A).
+
+use fm_graph::{CsrGraph, VertexId};
+
+/// Byte layout of one graph in accelerator memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AddressMap {
+    /// Base of the offsets array (8 B entries).
+    pub offsets_base: u64,
+    /// Base of the neighbor array (4 B entries).
+    pub neighbors_base: u64,
+}
+
+/// Base of the per-PE frontier regions (disjoint from graph data).
+const FRONTIER_BASE: u64 = 1 << 40;
+
+impl AddressMap {
+    /// Lays out `g` starting at address 0.
+    pub fn for_graph(g: &CsrGraph) -> AddressMap {
+        let offsets_bytes = (g.num_vertices() as u64 + 1) * 8;
+        AddressMap { offsets_base: 0, neighbors_base: (offsets_bytes + 63) & !63 }
+    }
+
+    /// Address of the offsets entry for `v` (reading a degree touches this
+    /// and the next entry, usually one line).
+    pub fn offset_addr(&self, v: VertexId) -> u64 {
+        self.offsets_base + v.index() as u64 * 8
+    }
+
+    /// Address range `(base, bytes)` of `v`'s adjacency list.
+    pub fn adjacency_range(&self, g: &CsrGraph, v: VertexId) -> (u64, usize) {
+        (self.neighbors_base + g.adjacency_byte_offset(v) as u64, g.degree(v) * 4)
+    }
+
+    /// Address range of PE `pe`'s frontier buffer for DFS depth `depth`,
+    /// holding `len` vertex ids.
+    pub fn frontier_range(pe: usize, depth: usize, len: usize) -> (u64, usize) {
+        (FRONTIER_BASE + ((pe as u64) << 32) + ((depth as u64) << 26), len * 4)
+    }
+}
+
+/// Splits a byte range into cache-line addresses.
+pub fn lines(base: u64, bytes: usize, line_bytes: usize) -> impl Iterator<Item = u64> {
+    let lb = line_bytes as u64;
+    let first = base / lb;
+    let last = if bytes == 0 { first } else { (base + bytes as u64 - 1) / lb + 1 };
+    (first..last.max(first)).map(move |l| l * lb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_graph::generators;
+
+    #[test]
+    fn layout_is_disjoint_and_aligned() {
+        let g = generators::complete(10);
+        let map = AddressMap::for_graph(&g);
+        assert_eq!(map.neighbors_base % 64, 0);
+        assert!(map.neighbors_base >= (g.num_vertices() as u64 + 1) * 8);
+        let (adj_base, adj_bytes) = map.adjacency_range(&g, VertexId(9));
+        assert!(adj_base >= map.neighbors_base);
+        assert_eq!(adj_bytes, 9 * 4);
+        let (fb, _) = AddressMap::frontier_range(3, 2, 10);
+        assert!(fb > adj_base + adj_bytes as u64);
+    }
+
+    #[test]
+    fn line_splitting() {
+        let ls: Vec<u64> = lines(0, 64, 64).collect();
+        assert_eq!(ls, vec![0]);
+        let ls: Vec<u64> = lines(60, 8, 64).collect();
+        assert_eq!(ls, vec![0, 64]);
+        let ls: Vec<u64> = lines(128, 0, 64).collect();
+        assert!(ls.is_empty());
+        let ls: Vec<u64> = lines(0, 129, 64).collect();
+        assert_eq!(ls, vec![0, 64, 128]);
+    }
+
+    #[test]
+    fn frontier_regions_are_disjoint_per_pe_and_depth() {
+        let (a, _) = AddressMap::frontier_range(0, 0, 1000);
+        let (b, _) = AddressMap::frontier_range(0, 1, 1000);
+        let (c, _) = AddressMap::frontier_range(1, 0, 1000);
+        assert!(b - a >= 1 << 26);
+        assert!(c - a >= 1 << 32);
+    }
+}

@@ -1,0 +1,198 @@
+//! Hardware connectivity-map model (§VI).
+//!
+//! The hardware c-map is a banked, linear-probing hash scratchpad with
+//! 5-byte entries (4 B key + 1 B connectivity bitset). This model is
+//! functional-plus-timing: contents are exact (a hash map), while access
+//! cost follows the probe-length behaviour of linear probing divided
+//! across `m` parallel banks — "we empirically observe that the map should
+//! be properly sized to keep its occupancy below 75%, thus maintain a low
+//! expected access latency. In our design, most accesses take only a
+//! single cycle."
+//!
+//! Deletion uses the paper's simplified invalidate-in-place scheme, valid
+//! because (1) updates happen in level bulks and (2) only present keys are
+//! ever deleted.
+
+/// The per-PE c-map scratchpad.
+#[derive(Clone, Debug)]
+pub struct HwCmap {
+    entries: usize,
+    banks: usize,
+    map: std::collections::HashMap<u32, u16>,
+    /// Lifetime read (query) count — the paper reports read ratios per
+    /// benchmark (§VII-C).
+    pub reads: u64,
+    /// Lifetime write (insert/update) count.
+    pub writes: u64,
+    /// Lifetime invalidations.
+    pub invalidations: u64,
+}
+
+impl HwCmap {
+    /// Creates an empty c-map with the given entry capacity and bank count.
+    pub fn new(entries: usize, banks: usize) -> HwCmap {
+        HwCmap {
+            entries,
+            banks: banks.max(1),
+            map: std::collections::HashMap::new(),
+            reads: 0,
+            writes: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Current number of live entries.
+    pub fn occupancy(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.entries
+    }
+
+    /// Load factor in [0, 1] (0 for unlimited capacity).
+    pub fn load(&self) -> f64 {
+        if self.entries == usize::MAX || self.entries == 0 {
+            0.0
+        } else {
+            self.map.len() as f64 / self.entries as f64
+        }
+    }
+
+    /// Whether inserting `additional` entries would push occupancy past
+    /// `threshold` — the dynamic estimate of §VI-B ("we compute how each
+    /// vertex extension influence the c-map memory footprint").
+    pub fn would_overflow(&self, additional: usize, threshold: f64) -> bool {
+        if self.entries == usize::MAX {
+            return false;
+        }
+        (self.map.len() + additional) as f64 > threshold * self.entries as f64
+    }
+
+    /// Expected probe cycles at the current load factor: a single cycle in
+    /// the operating region, growing with linear-probing cluster length as
+    /// the map fills, mitigated by `m` parallel banks.
+    pub fn access_cycles(&self) -> u64 {
+        let load = self.load();
+        // Expected probes for linear probing ≈ (1 + 1/(1-load)) / 2,
+        // served `banks` at a time.
+        let probes = if load >= 0.99 { 50.0 } else { (1.0 + 1.0 / (1.0 - load)) / 2.0 };
+        (probes / self.banks as f64).ceil().max(1.0) as u64
+    }
+
+    /// Sets connectivity bit `depth` for key `w`, inserting the entry if
+    /// absent. Returns the access cost in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if capacity would be exceeded — callers must
+    /// gate insertions with [`would_overflow`](Self::would_overflow).
+    pub fn insert(&mut self, w: u32, depth: usize) -> u64 {
+        self.writes += 1;
+        let cost = self.access_cycles();
+        *self.map.entry(w).or_insert(0) |= 1 << depth;
+        debug_assert!(self.entries == usize::MAX || self.map.len() <= self.entries);
+        cost
+    }
+
+    /// Returns the connectivity bitset of `w` (0 when absent) and the
+    /// access cost.
+    pub fn query(&mut self, w: u32) -> (u16, u64) {
+        self.reads += 1;
+        (self.map.get(&w).copied().unwrap_or(0), self.access_cycles())
+    }
+
+    /// Clears bit `depth` of `w`, dropping the entry when it reaches zero
+    /// (invalidate-in-place). Returns the access cost.
+    pub fn invalidate(&mut self, w: u32, depth: usize) -> u64 {
+        self.invalidations += 1;
+        let cost = self.access_cycles();
+        if let Some(bits) = self.map.get_mut(&w) {
+            *bits &= !(1 << depth);
+            if *bits == 0 {
+                self.map.remove(&w);
+            }
+        }
+        cost
+    }
+
+    /// Read share of all map accesses, as reported in §VII-C.
+    pub fn read_ratio(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.reads as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_invalidate_round_trip() {
+        let mut m = HwCmap::new(1024, 4);
+        m.insert(7, 0);
+        m.insert(7, 2);
+        assert_eq!(m.query(7).0, 0b101);
+        assert_eq!(m.occupancy(), 1);
+        m.invalidate(7, 2);
+        assert_eq!(m.query(7).0, 0b001);
+        m.invalidate(7, 0);
+        assert_eq!(m.query(7).0, 0);
+        assert_eq!(m.occupancy(), 0);
+        assert_eq!(m.invalidations, 2);
+    }
+
+    #[test]
+    fn missing_key_reads_zero() {
+        let mut m = HwCmap::new(16, 4);
+        assert_eq!(m.query(99).0, 0);
+    }
+
+    #[test]
+    fn overflow_estimate() {
+        let m = HwCmap::new(100, 4);
+        assert!(!m.would_overflow(75, 0.75));
+        assert!(m.would_overflow(76, 0.75));
+        let unlimited = HwCmap::new(usize::MAX, 4);
+        assert!(!unlimited.would_overflow(1 << 30, 0.75));
+    }
+
+    #[test]
+    fn access_cost_grows_with_load() {
+        let mut m = HwCmap::new(100, 1);
+        let low = m.access_cycles();
+        for i in 0..90u32 {
+            m.insert(i, 0);
+        }
+        let high = m.access_cycles();
+        assert!(high > low, "{high} vs {low}");
+        assert_eq!(low, 1);
+    }
+
+    #[test]
+    fn banking_reduces_probe_cost() {
+        let mut one = HwCmap::new(100, 1);
+        let mut four = HwCmap::new(100, 4);
+        for i in 0..85u32 {
+            one.insert(i, 0);
+            four.insert(i, 0);
+        }
+        assert!(four.access_cycles() <= one.access_cycles());
+        assert_eq!(four.access_cycles(), 1);
+    }
+
+    #[test]
+    fn read_ratio() {
+        let mut m = HwCmap::new(64, 4);
+        m.insert(1, 0);
+        m.query(1);
+        m.query(2);
+        m.query(3);
+        assert!((m.read_ratio() - 0.75).abs() < 1e-12);
+    }
+}

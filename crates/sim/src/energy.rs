@@ -1,0 +1,156 @@
+//! Energy estimation for a simulated run.
+//!
+//! The paper motivates FlexMiner partly by energy efficiency (§I: GPM
+//! accelerators "improve GPM's performance and energy-efficiency") and
+//! reports 15 nm ASIC synthesis results for the PE. This module turns the
+//! simulator's event counts into an energy estimate using per-event
+//! constants representative of a ~15 nm node — the standard
+//! counters×constants methodology of architecture papers (CACTI-style for
+//! SRAM, DRAM energy per access from DDR4 datasheets).
+//!
+//! Absolute joules are indicative only; the model's value is *relative*
+//! comparisons across configurations (e.g. how much dynamic energy the
+//! c-map saves by eliminating SIU iterations and cache traffic).
+
+use crate::config::SimConfig;
+use crate::stats::SimReport;
+
+/// Per-event dynamic energy constants, in picojoules.
+///
+/// Defaults are representative 15 nm-class figures: small-SRAM accesses a
+/// few pJ, 32 kB cache access ~10 pJ, 4 MB cache access ~50 pJ, DRAM
+/// ~15 nJ per 64 B access (≈230 pJ/bit × 64 B is DDR3-era; DDR4 is
+/// commonly quoted near 15–20 pJ/bit ⇒ ~8–10 nJ per line plus IO).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EnergyModel {
+    /// One datapath/pruner cycle of a PE (ALU + registers + control).
+    pub pe_cycle_pj: f64,
+    /// One SIU/SDU merge iteration (two comparators + muxes).
+    pub siu_iteration_pj: f64,
+    /// One c-map access (5 B-entry banked SRAM probe).
+    pub cmap_access_pj: f64,
+    /// One private (32 kB) cache access.
+    pub l1_access_pj: f64,
+    /// One shared (4 MB) cache access.
+    pub l2_access_pj: f64,
+    /// One NoC flit-hop.
+    pub noc_hop_pj: f64,
+    /// One 64 B DRAM access.
+    pub dram_access_pj: f64,
+    /// Static (leakage) power per PE, in milliwatts.
+    pub pe_leakage_mw: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            pe_cycle_pj: 1.2,
+            siu_iteration_pj: 0.6,
+            cmap_access_pj: 2.0,
+            l1_access_pj: 10.0,
+            l2_access_pj: 50.0,
+            noc_hop_pj: 4.0,
+            dram_access_pj: 10_000.0,
+            pe_leakage_mw: 0.5,
+        }
+    }
+}
+
+/// An energy breakdown in millijoules.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct EnergyBreakdown {
+    /// PE datapath (busy cycles).
+    pub pe_mj: f64,
+    /// SIU/SDU merge work.
+    pub siu_mj: f64,
+    /// c-map reads, writes and invalidations.
+    pub cmap_mj: f64,
+    /// Private cache accesses.
+    pub l1_mj: f64,
+    /// Shared cache accesses.
+    pub l2_mj: f64,
+    /// NoC traversal.
+    pub noc_mj: f64,
+    /// DRAM accesses.
+    pub dram_mj: f64,
+    /// Leakage over the run's wall-clock.
+    pub static_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.pe_mj
+            + self.siu_mj
+            + self.cmap_mj
+            + self.l1_mj
+            + self.l2_mj
+            + self.noc_mj
+            + self.dram_mj
+            + self.static_mj
+    }
+}
+
+impl EnergyModel {
+    /// Estimates the energy of a finished simulation.
+    pub fn estimate(&self, report: &SimReport, cfg: &SimConfig) -> EnergyBreakdown {
+        let pj = |count: u64, per: f64| count as f64 * per * 1e-9; // pJ → mJ
+        let cmap_accesses =
+            report.totals.cmap_reads + report.totals.cmap_writes + report.totals.cmap_invalidations;
+        let avg_hops = (cfg.mesh_dim() as f64).max(1.0);
+        let seconds = cfg.cycles_to_seconds(report.cycles);
+        EnergyBreakdown {
+            pe_mj: pj(report.totals.busy_cycles, self.pe_cycle_pj),
+            siu_mj: pj(report.totals.siu_cycles, self.siu_iteration_pj),
+            cmap_mj: pj(cmap_accesses, self.cmap_access_pj),
+            l1_mj: pj(report.totals.l1_accesses, self.l1_access_pj),
+            l2_mj: pj(report.l2_accesses, self.l2_access_pj),
+            noc_mj: pj(report.noc_traffic(), self.noc_hop_pj * avg_hops * 2.0),
+            dram_mj: pj(report.dram_accesses, self.dram_access_pj),
+            static_mj: self.pe_leakage_mw * cfg.num_pes as f64 * seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::simulate;
+    use fm_graph::generators;
+    use fm_pattern::Pattern;
+    use fm_plan::{compile, CompileOptions};
+
+    fn run(cmap_bytes: usize) -> (EnergyBreakdown, SimConfig) {
+        let g = generators::powerlaw_cluster(400, 6, 0.5, 3);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let cfg = SimConfig { num_pes: 4, cmap_bytes, ..Default::default() };
+        let report = simulate(&g, &plan, &cfg);
+        (EnergyModel::default().estimate(&report, &cfg), cfg)
+    }
+
+    #[test]
+    fn energy_is_positive_and_summable() {
+        let (e, _) = run(8 * 1024);
+        assert!(e.total_mj() > 0.0);
+        assert!(e.pe_mj > 0.0);
+        assert!(e.cmap_mj > 0.0);
+        let manual = e.pe_mj + e.siu_mj + e.cmap_mj + e.l1_mj + e.l2_mj + e.noc_mj + e.dram_mj
+            + e.static_mj;
+        assert!((e.total_mj() - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_cmap_run_spends_no_cmap_energy() {
+        let (e, _) = run(0);
+        assert_eq!(e.cmap_mj, 0.0);
+        assert!(e.siu_mj > 0.0);
+    }
+
+    #[test]
+    fn cmap_trades_siu_energy_for_cmap_energy() {
+        let (with, _) = run(8 * 1024);
+        let (without, _) = run(0);
+        assert!(with.siu_mj < without.siu_mj);
+        assert!(with.cmap_mj > without.cmap_mj);
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulation statistics and reports.
+
+use crate::config::SimConfig;
+
+/// Per-PE event counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PeStats {
+    /// Tasks received from the scheduler.
+    pub tasks: u64,
+    /// Embedding extensions (search-tree edges walked).
+    pub extensions: u64,
+    /// Candidate vertices streamed through the pruner.
+    pub candidates: u64,
+    /// SIU/SDU invocations (fallback or plain merge ops).
+    pub siu_invocations: u64,
+    /// SIU/SDU merge-loop iterations (= SIU busy cycles).
+    pub siu_cycles: u64,
+    /// c-map queries.
+    pub cmap_reads: u64,
+    /// c-map insertions.
+    pub cmap_writes: u64,
+    /// c-map invalidations during backtracking.
+    pub cmap_invalidations: u64,
+    /// Levels that could not be memoized (occupancy estimate exceeded the
+    /// threshold, or depth beyond the value width).
+    pub cmap_overflows: u64,
+    /// Private-cache accesses.
+    pub l1_accesses: u64,
+    /// Private-cache misses (each becomes a NoC request).
+    pub l1_misses: u64,
+    /// Requests this PE sent onto the NoC (misses + writebacks).
+    pub noc_requests: u64,
+    /// Dirty private-cache lines written back through the NoC.
+    pub writebacks: u64,
+    /// Cycles this PE spent busy (non-idle).
+    pub busy_cycles: u64,
+}
+
+impl PeStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &PeStats) {
+        self.tasks += other.tasks;
+        self.extensions += other.extensions;
+        self.candidates += other.candidates;
+        self.siu_invocations += other.siu_invocations;
+        self.siu_cycles += other.siu_cycles;
+        self.cmap_reads += other.cmap_reads;
+        self.cmap_writes += other.cmap_writes;
+        self.cmap_invalidations += other.cmap_invalidations;
+        self.cmap_overflows += other.cmap_overflows;
+        self.l1_accesses += other.l1_accesses;
+        self.l1_misses += other.l1_misses;
+        self.noc_requests += other.noc_requests;
+        self.writebacks += other.writebacks;
+        self.busy_cycles += other.busy_cycles;
+    }
+}
+
+/// The result of one accelerator simulation.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SimReport {
+    /// Total execution time in PE cycles (completion of the last PE).
+    pub cycles: u64,
+    /// Raw match counts per plan pattern.
+    pub counts: Vec<u64>,
+    /// Aggregated PE counters.
+    pub totals: PeStats,
+    /// Per-PE completion times (for load-balance analysis).
+    pub pe_finish_cycles: Vec<u64>,
+    /// Shared-cache accesses.
+    pub l2_accesses: u64,
+    /// Shared-cache misses.
+    pub l2_misses: u64,
+    /// Shared-cache dirty evictions.
+    pub l2_writebacks: u64,
+    /// DRAM accesses (reads + writes).
+    pub dram_accesses: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+}
+
+impl SimReport {
+    /// Execution time in seconds at the configured clock.
+    pub fn seconds(&self, cfg: &SimConfig) -> f64 {
+        cfg.cycles_to_seconds(self.cycles)
+    }
+
+    /// NoC traffic: memory requests sent from the PEs to the NoC (the
+    /// metric of Fig. 16).
+    pub fn noc_traffic(&self) -> u64 {
+        self.totals.noc_requests
+    }
+
+    /// L2 miss rate in [0, 1].
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+
+    /// c-map read ratio (reads / (reads + writes)), as quoted in §VII-C.
+    pub fn cmap_read_ratio(&self) -> f64 {
+        let total = self.totals.cmap_reads + self.totals.cmap_writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.totals.cmap_reads as f64 / total as f64
+        }
+    }
+
+    /// Load imbalance: slowest PE finish time over mean finish time.
+    pub fn imbalance(&self) -> f64 {
+        if self.pe_finish_cycles.is_empty() {
+            return 1.0;
+        }
+        let max = *self.pe_finish_cycles.iter().max().expect("nonempty") as f64;
+        let mean = self.pe_finish_cycles.iter().sum::<u64>() as f64
+            / self.pe_finish_cycles.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PeStats { tasks: 1, extensions: 10, ..Default::default() };
+        let b = PeStats { tasks: 2, extensions: 5, noc_requests: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.tasks, 3);
+        assert_eq!(a.extensions, 15);
+        assert_eq!(a.noc_requests, 7);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let report = SimReport {
+            cycles: 1_300_000,
+            l2_accesses: 100,
+            l2_misses: 25,
+            pe_finish_cycles: vec![100, 100, 200],
+            totals: PeStats { cmap_reads: 90, cmap_writes: 10, ..Default::default() },
+            ..Default::default()
+        };
+        assert!((report.l2_miss_rate() - 0.25).abs() < 1e-12);
+        assert!((report.cmap_read_ratio() - 0.9).abs() < 1e-12);
+        assert!((report.imbalance() - 1.5).abs() < 1e-12);
+        let cfg = SimConfig::default();
+        assert!((report.seconds(&cfg) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = SimReport::default();
+        assert_eq!(r.l2_miss_rate(), 0.0);
+        assert_eq!(r.cmap_read_ratio(), 0.0);
+        assert_eq!(r.imbalance(), 1.0);
+    }
+}

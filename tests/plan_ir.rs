@@ -1,0 +1,116 @@
+//! Golden tests for the execution-plan IR (the SW/HW interface of §V).
+
+use fm_pattern::{motifs, Pattern};
+use fm_plan::{compile, compile_multi, CompileOptions, Extender, FrontierHint};
+
+#[test]
+fn listing_one_golden() {
+    // The paper's Listing 1 (4-cycle), including the §VI-B c-map hints.
+    let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+    let text = plan.to_string();
+    let expected_lines = [
+        "vertex:",
+        "  v0 ∈ V pruneBy(∞, {})",
+        "  v1 ∈ v0.N pruneBy(v0.id, {}) [cmap:insert<v0.id]",
+        "  v2 ∈ v0.N pruneBy(v1.id, {})",
+        "  v3 ∈ v2.N pruneBy(v0.id, {v1})",
+        "embedding:",
+        "  emb0 := v0",
+        "  emb1 := emb0 + v1",
+        "  emb2 := emb1 + v2",
+        "  emb3 := emb2 + v3",
+        "    → matches pattern 0 (4-cycle)",
+    ];
+    for line in expected_lines {
+        assert!(text.contains(line), "missing line {line:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn listing_two_structure() {
+    // Listing 2: diamond + tailed-triangle share v0, v1, v2 and branch at
+    // depth 3.
+    let plan = compile_multi(
+        &[Pattern::diamond(), Pattern::tailed_triangle()],
+        CompileOptions::default(),
+    );
+    assert_eq!(plan.node_count(), 5);
+    assert_eq!(plan.depth(), 4);
+    let shared_l2 = &plan.root.children[0].children[0];
+    assert_eq!(shared_l2.children.len(), 2);
+    let text = plan.to_string();
+    assert!(text.contains("matches pattern 0 (diamond)"), "{text}");
+    assert!(text.contains("matches pattern 1 (tailed-triangle)"), "{text}");
+}
+
+#[test]
+fn clique_plans_use_orientation_and_frontier_extension() {
+    for k in 3..=7 {
+        let plan = compile(&Pattern::k_clique(k), CompileOptions::default());
+        assert!(plan.orientation, "k = {k}");
+        assert!(plan.symmetry);
+        let ops: Vec<_> = plan.root.iter().map(|n| n.op.clone()).collect();
+        for (d, op) in ops.iter().enumerate() {
+            assert!(op.upper_bounds.is_empty());
+            if d == 0 {
+                assert_eq!(op.extender, Extender::Root);
+            } else {
+                assert_eq!(op.extender, Extender::Level(d - 1));
+            }
+            if d >= 2 {
+                assert_eq!(op.frontier, FrontierHint::Extend);
+            }
+        }
+    }
+}
+
+#[test]
+fn motif_plans_have_one_leaf_per_motif() {
+    for k in [3usize, 4] {
+        let ms = motifs::motifs(k);
+        let plan = compile_multi(&ms, CompileOptions::induced());
+        let leaves: Vec<usize> =
+            plan.root.iter().filter_map(|n| n.pattern_index).collect();
+        assert_eq!(leaves.len(), ms.len(), "k = {k}");
+        // Every pattern is matched exactly once, in order.
+        let mut sorted = leaves.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..ms.len()).collect::<Vec<_>>());
+        assert!(plan.induced);
+        // Induced plans carry disconnection constraints for sparse motifs.
+        assert!(plan
+            .root
+            .iter()
+            .any(|n| !n.op.disconnected.is_empty()));
+    }
+}
+
+#[test]
+fn plans_are_printable_and_reparse_free() {
+    // Display must never panic and always include both sections.
+    for p in [
+        Pattern::triangle(),
+        Pattern::house(),
+        Pattern::k_clique(6),
+        Pattern::cycle(5),
+        Pattern::star(4),
+    ] {
+        let plan = compile(&p, CompileOptions::default());
+        let text = plan.to_string();
+        assert!(text.contains("vertex:"));
+        assert!(text.contains("embedding:"));
+    }
+}
+
+#[test]
+fn cmap_hints_never_reference_unknown_levels() {
+    for p in [Pattern::cycle(4), Pattern::house(), Pattern::cycle(5), Pattern::diamond()] {
+        let plan = compile(&p, CompileOptions::default());
+        for node in plan.root.iter() {
+            if let Some(l) = node.cmap_insert_bound {
+                assert!(node.cmap_insert);
+                assert!(l <= node.op.depth, "bound level must be known at insertion time");
+            }
+        }
+    }
+}
