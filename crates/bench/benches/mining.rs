@@ -19,7 +19,23 @@ fn bench_engine_patterns(c: &mut Criterion) {
         ("diamond", Pattern::diamond()),
     ] {
         let plan = compile(&p, CompileOptions::default());
-        group.bench_with_input(BenchmarkId::new("graphzero", name), &plan, |b, plan| {
+        // Faithful = the paper's GraphZero-equivalent datapath; bounded and
+        // the default (bounded+gallop) config ablate the software-only
+        // candidate-generation optimizations against it.
+        group.bench_with_input(BenchmarkId::new("faithful", name), &plan, |b, plan| {
+            b.iter(|| mine_single_threaded(&g, plan, &EngineConfig::paper_faithful()).counts)
+        });
+        group.bench_with_input(BenchmarkId::new("bounded", name), &plan, |b, plan| {
+            b.iter(|| {
+                mine_single_threaded(
+                    &g,
+                    plan,
+                    &EngineConfig { gallop_ratio: 0, ..Default::default() },
+                )
+                .counts
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bounded-gallop", name), &plan, |b, plan| {
             b.iter(|| mine_single_threaded(&g, plan, &EngineConfig::default()).counts)
         });
         group.bench_with_input(BenchmarkId::new("cmap", name), &plan, |b, plan| {

@@ -9,12 +9,22 @@ use fm_bench::workloads::{workload, WorkloadKey};
 use fm_sim::{simulate, SimConfig};
 
 fn main() {
-    for (dk, wk) in [(DatasetKey::Pa, WorkloadKey::Sl4Cycle), (DatasetKey::As, WorkloadKey::Sl4Cycle), (DatasetKey::Mi, WorkloadKey::Sl4Cycle)] {
+    for (dk, wk) in [
+        (DatasetKey::Pa, WorkloadKey::Sl4Cycle),
+        (DatasetKey::As, WorkloadKey::Sl4Cycle),
+        (DatasetKey::Mi, WorkloadKey::Sl4Cycle),
+    ] {
         let d = dataset(dk, false);
         let g = &d.graph;
-        println!("{:?} |V|={} |E|={} bytes={}KB", dk, g.num_vertices(), g.num_undirected_edges(), g.num_directed_edges()*4/1024);
+        println!(
+            "{:?} |V|={} |E|={} bytes={}KB",
+            dk,
+            g.num_vertices(),
+            g.num_undirected_edges(),
+            g.num_directed_edges() * 4 / 1024
+        );
         let plan = workload(wk).plan();
-        for bytes in [0usize, 8*1024] {
+        for bytes in [0usize, 8 * 1024] {
             let cfg = SimConfig { num_pes: 20, cmap_bytes: bytes, ..Default::default() };
             let t = std::time::Instant::now();
             let r = simulate(g, &plan, &cfg);

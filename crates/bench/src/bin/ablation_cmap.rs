@@ -57,8 +57,7 @@ fn main() {
     let deep = compile(&Pattern::k_clique(6), CompileOptions::default());
     let no_memo = SimConfig { frontier_memo: false, ..base_cfg };
     let deep_default = simulate(&d.graph, &deep, &no_memo);
-    let deep_narrow =
-        simulate(&d.graph, &deep, &SimConfig { cmap_value_bits: 3, ..no_memo });
+    let deep_narrow = simulate(&d.graph, &deep, &SimConfig { cmap_value_bits: 3, ..no_memo });
     assert_eq!(deep_default.counts, deep_narrow.counts);
     table.push(vec![
         "6-CL, 8-bit value (default)".into(),

@@ -28,7 +28,8 @@ fn main() {
         for key in wk.fig13_datasets() {
             let d = dataset(key, args.quick);
             let (base_secs, base) = time_engine(&d.graph, &plan, args.threads);
-            let mut row = vec![wk.label().to_string(), key.label().to_string(), fmt_secs(base_secs)];
+            let mut row =
+                vec![wk.label().to_string(), key.label().to_string(), fmt_secs(base_secs)];
             let mut last = 0.0;
             for (i, &pes) in pe_configs.iter().enumerate() {
                 let cfg = SimConfig { num_pes: pes, cmap_bytes: 0, ..Default::default() };
@@ -51,7 +52,11 @@ fn main() {
             fmt_x(geomean(&speedups[i]))
         ));
     }
-    table.note(format!("baseline: software engine, {} threads, host wall-clock (this host: {} hardware threads)", args.threads, std::thread::available_parallelism().map_or(1, |n| n.get())));
+    table.note(format!(
+        "baseline: software engine, {} threads, host wall-clock (this host: {} hardware threads)",
+        args.threads,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     table.note("the -vs-ideal20T column divides by 20, assuming a perfectly-scaling 20-thread baseline (a lower bound for the speedup on single-core hosts)");
     table.emit(&args.out).expect("write fig13");
 }

@@ -50,10 +50,8 @@ fn main() {
                 assert_eq!(report.counts, no_cmap.counts, "c-map must not change counts");
                 let x = no_cmap.cycles as f64 / report.cycles as f64;
                 per_size[i].push(x);
-                if wk == WorkloadKey::Sl4Cycle {
-                    if bytes == usize::MAX {
-                        four_cycle.push(x);
-                    }
+                if wk == WorkloadKey::Sl4Cycle && bytes == usize::MAX {
+                    four_cycle.push(x);
                 }
                 if bytes == 8 * 1024 {
                     read_ratio = report.cmap_read_ratio();

@@ -6,10 +6,10 @@
 //! PEs FlexMiner averages 10.6× over 20-thread GraphZero.
 
 use fm_bench::datasets::dataset;
+use fm_bench::datasets::DatasetKey;
 use fm_bench::harness::{fmt_x, geomean, time_engine, BenchArgs, Table};
 use fm_bench::workloads::{workload, WorkloadKey};
 use fm_sim::{simulate, SimConfig};
-use fm_bench::datasets::DatasetKey;
 
 fn main() {
     let args = BenchArgs::parse();

@@ -19,12 +19,18 @@ fn main() {
         "fig16",
         "NoC traffic (PE memory requests) and DRAM accesses vs c-map size (20 PEs)",
         &[
-            "app", "graph", "noc@none", "noc@4kB", "noc@8kB", "noc-ratio@4kB", "dram@none",
-            "dram@4kB", "dram@8kB",
+            "app",
+            "graph",
+            "noc@none",
+            "noc@4kB",
+            "noc@8kB",
+            "noc-ratio@4kB",
+            "dram@none",
+            "dram@4kB",
+            "dram@8kB",
         ],
     );
-    let apps =
-        [WorkloadKey::Tc, WorkloadKey::Sl4Cycle, WorkloadKey::SlDiamond, WorkloadKey::Cl4];
+    let apps = [WorkloadKey::Tc, WorkloadKey::Sl4Cycle, WorkloadKey::SlDiamond, WorkloadKey::Cl4];
     let graphs = [DatasetKey::As, DatasetKey::Mi, DatasetKey::Pa];
     // Two private-cache regimes: the paper's 32 kB L1 (where our ~100x
     // scaled-down graphs leave the redundant edge-list re-fetches L1-hot),

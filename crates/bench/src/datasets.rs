@@ -39,7 +39,14 @@ pub enum DatasetKey {
 impl DatasetKey {
     /// All keys, in the paper's presentation order.
     pub fn all() -> [DatasetKey; 6] {
-        [DatasetKey::As, DatasetKey::Mi, DatasetKey::Pa, DatasetKey::Yo, DatasetKey::Lj, DatasetKey::Or]
+        [
+            DatasetKey::As,
+            DatasetKey::Mi,
+            DatasetKey::Pa,
+            DatasetKey::Yo,
+            DatasetKey::Lj,
+            DatasetKey::Or,
+        ]
     }
 
     /// The short label used in the paper's figures.
@@ -106,8 +113,7 @@ pub fn dataset(key: DatasetKey, quick: bool) -> Dataset {
         } else {
             generators::preferential_attachment(n / s, m, seed)
         };
-        let with_hubs =
-            generators::attach_hubs(&body, hubs, (hub_deg / h).min(n / s), seed ^ 0xFF);
+        let with_hubs = generators::attach_hubs(&body, hubs, (hub_deg / h).min(n / s), seed ^ 0xFF);
         // SNAP-like arbitrary labels: hubs land throughout the id space,
         // so they take part in every embedding role under symmetry orders.
         let graph = generators::shuffle_ids(&with_hubs, seed ^ 0x5A5A);
@@ -157,8 +163,7 @@ mod tests {
 
     #[test]
     fn mi_is_densest_and_as_is_smallest() {
-        let all: Vec<Dataset> =
-            DatasetKey::all().iter().map(|&k| dataset(k, true)).collect();
+        let all: Vec<Dataset> = DatasetKey::all().iter().map(|&k| dataset(k, true)).collect();
         let avg = |d: &Dataset| d.graph.avg_degree();
         let mi = all.iter().find(|d| d.key == DatasetKey::Mi).expect("mi");
         for d in &all {
@@ -169,10 +174,7 @@ mod tests {
         let as_ = all.iter().find(|d| d.key == DatasetKey::As).expect("as");
         for d in &all {
             if d.key != DatasetKey::As {
-                assert!(
-                    as_.graph.num_vertices() <= d.graph.num_vertices(),
-                    "As must be smallest"
-                );
+                assert!(as_.graph.num_vertices() <= d.graph.num_vertices(), "As must be smallest");
             }
         }
     }

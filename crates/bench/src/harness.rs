@@ -4,7 +4,6 @@ use fm_engine::executor::prepare_graph;
 use fm_engine::{mine_prepared, EngineConfig, MiningResult};
 use fm_graph::CsrGraph;
 use fm_plan::ExecutionPlan;
-use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -40,7 +39,8 @@ impl BenchArgs {
                         .unwrap_or_else(|| usage("--threads needs a number"));
                 }
                 "--out" => {
-                    args.out = it.next().map(PathBuf::from).unwrap_or_else(|| usage("--out needs a path"));
+                    args.out =
+                        it.next().map(PathBuf::from).unwrap_or_else(|| usage("--out needs a path"));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -62,17 +62,31 @@ fn usage(msg: &str) -> ! {
 /// and the minimum taken, mirroring the paper's average-of-3 methodology
 /// for stable numbers.
 pub fn time_engine(g: &CsrGraph, plan: &ExecutionPlan, threads: usize) -> (f64, MiningResult) {
-    let cfg = EngineConfig::with_threads(threads);
+    // The figures compare against the paper's GraphZero baseline, so the
+    // engine runs in paper-faithful mode: full unbounded SIU/SDU merges,
+    // no galloping. Ablation binaries opt into the optimized modes through
+    // [`time_engine_with`].
+    let cfg = EngineConfig { threads, ..EngineConfig::paper_faithful() };
+    time_engine_with(g, plan, &cfg)
+}
+
+/// Like [`time_engine`], but with full control over the engine
+/// configuration (used by the ablation experiments).
+pub fn time_engine_with(
+    g: &CsrGraph,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+) -> (f64, MiningResult) {
     // One-time preprocessing (k-clique orientation) is excluded, as in the
     // paper and as in the simulator's cycle accounting.
     let prepared = prepare_graph(g, plan);
     let start = Instant::now();
-    let result = mine_prepared(&prepared, plan, &cfg);
+    let result = mine_prepared(&prepared, plan, cfg);
     let mut best = start.elapsed().as_secs_f64();
     let mut reps = 0;
     while best < 0.2 && reps < 2 {
         let start = Instant::now();
-        let again = mine_prepared(&prepared, plan, &cfg);
+        let again = mine_prepared(&prepared, plan, cfg);
         debug_assert_eq!(again.counts, result.counts);
         best = best.min(start.elapsed().as_secs_f64());
         reps += 1;
@@ -81,7 +95,7 @@ pub fn time_engine(g: &CsrGraph, plan: &ExecutionPlan, threads: usize) -> (f64, 
 }
 
 /// One output table (also the JSON schema written to `--out`).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Experiment identifier (e.g. `fig14`).
     pub id: String,
@@ -120,7 +134,41 @@ impl Table {
         self.notes.push(note.into());
     }
 
-    /// Writes the table as pretty JSON into `dir/<id>.json` and prints the
+    /// Serializes the table as compact JSON (`{"id":"fig14",...}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        json_str(&mut out, "id");
+        out.push(':');
+        json_str(&mut out, &self.id);
+        out.push(',');
+        json_str(&mut out, "title");
+        out.push(':');
+        json_str(&mut out, &self.title);
+        out.push(',');
+        json_str(&mut out, "headers");
+        out.push(':');
+        json_str_array(&mut out, &self.headers);
+        out.push(',');
+        json_str(&mut out, "rows");
+        out.push(':');
+        out.push('[');
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str_array(&mut out, row);
+        }
+        out.push(']');
+        out.push(',');
+        json_str(&mut out, "notes");
+        out.push(':');
+        json_str_array(&mut out, &self.notes);
+        out.push('}');
+        out
+    }
+
+    /// Writes the table as JSON into `dir/<id>.json` and prints the
     /// aligned text rendering to stdout.
     ///
     /// # Errors
@@ -130,11 +178,41 @@ impl Table {
         println!("{self}");
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(self).expect("table serialization is infallible");
-        std::fs::write(&path, json)?;
+        std::fs::write(&path, self.to_json())?;
         println!("[written {}]", path.display());
         Ok(())
     }
+}
+
+/// Appends `s` as a JSON string literal (quotes, backslashes, and control
+/// characters escaped per RFC 8259).
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_str(out, item);
+    }
+    out.push(']');
 }
 
 impl std::fmt::Display for Table {
@@ -209,9 +287,19 @@ mod tests {
     fn table_round_trips_to_json() {
         let mut t = Table::new("id1", "demo", &["a"]);
         t.push(vec!["42".into()]);
-        let json = serde_json::to_string(&t).unwrap();
+        let json = t.to_json();
         assert!(json.contains("\"id\":\"id1\""));
         assert!(json.contains("42"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut t = Table::new("esc", "quo\"te", &["a\\b"]);
+        t.note("line\nbreak");
+        let json = t.to_json();
+        assert!(json.contains("quo\\\"te"));
+        assert!(json.contains("a\\\\b"));
+        assert!(json.contains("line\\nbreak"));
     }
 
     #[test]

@@ -116,11 +116,7 @@ impl Workload {
     /// Plan compiled in AutoMine mode (no symmetry breaking), for the
     /// Table II baseline.
     pub fn automine_plan(&self) -> ExecutionPlan {
-        let options = CompileOptions {
-            symmetry: false,
-            orientation: false,
-            ..self.options
-        };
+        let options = CompileOptions { symmetry: false, orientation: false, ..self.options };
         compile_multi(&self.patterns, options)
     }
 }

@@ -65,8 +65,7 @@ pub fn motif_census(
     backend: Backend,
 ) -> Result<Vec<(String, u64)>, MineError> {
     let ms = motifs::motifs(k);
-    let outcome: MiningOutcome =
-        Miner::new(g).patterns(ms).induced(true).backend(backend).run()?;
+    let outcome: MiningOutcome = Miner::new(g).patterns(ms).induced(true).backend(backend).run()?;
     Ok(outcome.per_pattern().iter().map(|p| (p.name.clone(), p.count)).collect())
 }
 
@@ -110,11 +109,8 @@ mod tests {
         let by_name: std::collections::HashMap<_, _> = census.into_iter().collect();
         // Wedges + triangles as induced counts must match the oblivious
         // oracle.
-        let oracle = fm_engine::oblivious::count_induced(
-            &g,
-            &[Pattern::wedge(), Pattern::triangle()],
-            1,
-        );
+        let oracle =
+            fm_engine::oblivious::count_induced(&g, &[Pattern::wedge(), Pattern::triangle()], 1);
         assert_eq!(by_name["wedge"], oracle.counts[0]);
         assert_eq!(by_name["triangle"], oracle.counts[1]);
     }

@@ -94,8 +94,7 @@ fn load_graph(args: &[String]) -> Result<CsrGraph, String> {
 fn generate_graph(spec: &str) -> Result<CsrGraph, String> {
     let mut parts = spec.split(',');
     let kind = parts.next().ok_or("empty generator spec")?;
-    let kv: HashMap<&str, &str> =
-        parts.filter_map(|p| p.split_once('=')).collect();
+    let kv: HashMap<&str, &str> = parts.filter_map(|p| p.split_once('=')).collect();
     let get_u = |k: &str, default: usize| -> Result<usize, String> {
         kv.get(k).map_or(Ok(default), |v| v.parse().map_err(|e| format!("bad {k}: {e}")))
     };
@@ -226,16 +225,12 @@ fn cmd_sim(args: &[String]) -> CliResult {
 }
 
 fn cmd_motifs(args: &[String]) -> CliResult {
-    let k: usize = args
-        .first()
-        .ok_or("missing <k>")?
-        .parse()
-        .map_err(|e| format!("bad k: {e}"))?;
+    let k: usize = args.first().ok_or("missing <k>")?.parse().map_err(|e| format!("bad k: {e}"))?;
     let g = load_graph(args)?;
     let threads = flag_value(args, "--threads")
         .map_or(Ok(1), |v| v.parse::<usize>().map_err(|e| e.to_string()))?;
-    let census = apps::motif_census(&g, k, Backend::software(threads))
-        .map_err(|e| e.to_string())?;
+    let census =
+        apps::motif_census(&g, k, Backend::software(threads)).map_err(|e| e.to_string())?;
     for (name, count) in census {
         println!("{name}: {count}");
     }
@@ -249,12 +244,7 @@ fn cmd_generate(args: &[String]) -> CliResult {
     let g = generate_graph(spec)?;
     let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     io::write_edge_list(&g, file).map_err(|e| e.to_string())?;
-    eprintln!(
-        "wrote {} ({} vertices, {} edges)",
-        out,
-        g.num_vertices(),
-        g.num_undirected_edges()
-    );
+    eprintln!("wrote {} ({} vertices, {} edges)", out, g.num_vertices(), g.num_undirected_edges());
     Ok(())
 }
 

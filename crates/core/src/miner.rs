@@ -239,19 +239,20 @@ impl<'g> Miner<'g> {
     pub fn run(&self) -> Result<MiningOutcome, MineError> {
         let plan = self.plan()?;
         let start = std::time::Instant::now();
-        let (raw, work, sim): (Vec<u64>, Option<WorkCounters>, Option<SimReport>) =
-            match &self.backend {
-                Backend::Software(cfg) => {
-                    let result: MiningResult = fm_engine::mine(self.graph, &plan, cfg);
-                    (result.unique_counts(&plan), Some(result.work), None)
-                }
-                Backend::Accelerator(cfg) => {
-                    let report = simulate(self.graph, &plan, cfg);
-                    let result =
-                        MiningResult { counts: report.counts.clone(), work: WorkCounters::default() };
-                    (result.unique_counts(&plan), None, Some(report))
-                }
-            };
+        let (raw, work, sim): (Vec<u64>, Option<WorkCounters>, Option<SimReport>) = match &self
+            .backend
+        {
+            Backend::Software(cfg) => {
+                let result: MiningResult = fm_engine::mine(self.graph, &plan, cfg);
+                (result.unique_counts(&plan), Some(result.work), None)
+            }
+            Backend::Accelerator(cfg) => {
+                let report = simulate(self.graph, &plan, cfg);
+                let result =
+                    MiningResult { counts: report.counts.clone(), work: WorkCounters::default() };
+                (result.unique_counts(&plan), None, Some(report))
+            }
+        };
         let elapsed = start.elapsed();
         let per_pattern = plan
             .patterns
@@ -309,8 +310,7 @@ mod tests {
     fn symmetry_toggle_preserves_unique_counts() {
         let g = generators::erdos_renyi(50, 0.2, 9);
         let with = Miner::new(&g).pattern(Pattern::triangle()).run().unwrap();
-        let without =
-            Miner::new(&g).pattern(Pattern::triangle()).symmetry(false).run().unwrap();
+        let without = Miner::new(&g).pattern(Pattern::triangle()).symmetry(false).run().unwrap();
         assert_eq!(with.counts(), without.counts());
     }
 

@@ -189,8 +189,9 @@ mod tests {
         for _ in 0..200 {
             if rng.gen_bool(0.6) || stack.is_empty() {
                 let depth = stack.len();
-                let bulk: Vec<(VertexId, usize)> =
-                    (0..rng.gen_range(0..6)).map(|_| (VertexId(rng.gen_range(0..64)), depth)).collect();
+                let bulk: Vec<(VertexId, usize)> = (0..rng.gen_range(0..6))
+                    .map(|_| (VertexId(rng.gen_range(0..64)), depth))
+                    .collect();
                 for &(w, d) in &bulk {
                     h.insert(w, d);
                     v.insert(w, d);

@@ -108,7 +108,13 @@ impl<'g> Executor<'g> {
     /// Creates an executor over `graph`, which must already be prepared via
     /// [`prepare_graph`] (oriented for k-clique plans).
     pub fn new(graph: &'g CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> Executor<'g> {
-        let program = lower(plan, LowerOptions { frontier_memo: cfg.frontier_memo });
+        let program = lower(
+            plan,
+            LowerOptions {
+                frontier_memo: cfg.frontier_memo,
+                bounded_pushdown: !cfg.paper_faithful,
+            },
+        );
         let state = State::new(program.depth, plan.patterns.len());
         Executor { graph, program, cfg: *cfg, state }
     }
@@ -218,8 +224,9 @@ fn step(g: &CsrGraph, cfg: &EngineConfig, prog: &Program, state: &mut State, nod
     // candidates *counted* — GraphZero's generated code ends in exactly
     // such count loops, and the FlexMiner reducer does the same in
     // hardware. (Disabled while collecting full matches.)
-    if node.pattern_index.is_some() && node.children.is_empty() && state.matches.is_none() {
-        let pi = node.pattern_index.expect("checked above");
+    if let (Some(pi), true, true) =
+        (node.pattern_index, node.children.is_empty(), state.matches.is_none())
+    {
         let mut found = 0u64;
         for i in 0..len {
             let w = state.frontiers[core][i];
@@ -308,15 +315,46 @@ fn build_core(
             let src = state.core_at[d - 1];
             let mut out = std::mem::take(&mut state.frontiers[d]);
             out.clear();
-            // Full (unbounded) merges, as in GraphZero's generated code
-            // and the SIU of Fig. 9: candidate sets are materialized in
-            // full and vid bounds are applied during iteration (sorted
-            // cores break early).
+            // Faithful mode: full (unbounded) merges, as in GraphZero's
+            // generated code and the SIU of Fig. 9 — candidate sets are
+            // materialized in full and vid bounds are applied during
+            // iteration (sorted cores break early). Otherwise the bound
+            // is pushed into the merge when the lowering proved the
+            // truncation invisible, and intersections may dispatch to
+            // galloping.
             let adj = g.neighbors(state.emb[d - 1]);
-            if want_connected {
-                setops::intersect_into(&state.frontiers[src], adj, &mut out, &mut state.work)
+            let merge_bound = if cfg.paper_faithful || !node.bounded_build { None } else { bound };
+            if cfg.paper_faithful {
+                if want_connected {
+                    setops::intersect_into(&state.frontiers[src], adj, &mut out, &mut state.work)
+                } else {
+                    setops::difference_into(&state.frontiers[src], adj, &mut out, &mut state.work)
+                }
+            } else if want_connected {
+                setops::intersect_adaptive_into(
+                    &state.frontiers[src],
+                    adj,
+                    merge_bound,
+                    cfg.gallop_ratio,
+                    &mut out,
+                    &mut state.work,
+                )
             } else {
-                setops::difference_into(&state.frontiers[src], adj, &mut out, &mut state.work)
+                match merge_bound {
+                    Some(b) => setops::difference_bounded_into(
+                        &state.frontiers[src],
+                        adj,
+                        b,
+                        &mut out,
+                        &mut state.work,
+                    ),
+                    None => setops::difference_into(
+                        &state.frontiers[src],
+                        adj,
+                        &mut out,
+                        &mut state.work,
+                    ),
+                }
             }
             state.frontiers[d] = out;
             state.core_at[d] = d;
@@ -326,7 +364,12 @@ fn build_core(
             let src = g.neighbors(state.emb[ext]);
             let mut out = std::mem::take(&mut state.frontiers[d]);
             out.clear();
+            let merge_bound = if cfg.paper_faithful || !node.bounded_build { None } else { bound };
             if !has_constraints {
+                let src = match merge_bound {
+                    Some(b) => setops::bounded_prefix(src, b, &mut state.work),
+                    None => src,
+                };
                 out.extend_from_slice(src);
             } else {
                 // Merge pipeline: src ∩ adj(connected…) \ adj(disconnected…),
@@ -335,10 +378,11 @@ fn build_core(
                 let mut a = std::mem::take(&mut state.scratch_a);
                 let mut b = std::mem::take(&mut state.scratch_b);
                 let total = node.connected.len() + node.disconnected.len();
-                let stages =
-                    node.connected.iter().map(|&l| (l, true)).chain(
-                        node.disconnected.iter().map(|&l| (l, false)),
-                    );
+                let stages = node
+                    .connected
+                    .iter()
+                    .map(|&l| (l, true))
+                    .chain(node.disconnected.iter().map(|&l| (l, false)));
                 for (i, (l, is_conn)) in stages.enumerate() {
                     let adj = g.neighbors(state.emb[l]);
                     let last = i + 1 == total;
@@ -350,10 +394,28 @@ fn build_core(
                         (&b, if last { &mut out } else { &mut a })
                     };
                     dst.clear();
-                    if is_conn {
-                        setops::intersect_into(cur, adj, dst, &mut state.work);
+                    if cfg.paper_faithful {
+                        if is_conn {
+                            setops::intersect_into(cur, adj, dst, &mut state.work);
+                        } else {
+                            setops::difference_into(cur, adj, dst, &mut state.work);
+                        }
+                    } else if is_conn {
+                        setops::intersect_adaptive_into(
+                            cur,
+                            adj,
+                            merge_bound,
+                            cfg.gallop_ratio,
+                            dst,
+                            &mut state.work,
+                        );
                     } else {
-                        setops::difference_into(cur, adj, dst, &mut state.work);
+                        match merge_bound {
+                            Some(bd) => {
+                                setops::difference_bounded_into(cur, adj, bd, dst, &mut state.work)
+                            }
+                            None => setops::difference_into(cur, adj, dst, &mut state.work),
+                        }
                     }
                 }
                 state.scratch_a = a;
@@ -435,6 +497,44 @@ mod tests {
         assert_eq!(a.unique_counts(&auto), s.unique_counts(&sym));
         // The larger search space costs more work.
         assert!(a.work.extensions > s.work.extensions);
+    }
+
+    #[test]
+    fn bounded_and_adaptive_modes_match_faithful_counts() {
+        let g = generators::powerlaw_cluster(200, 5, 0.4, 11);
+        for pattern in [
+            Pattern::triangle(),
+            Pattern::cycle(4),
+            Pattern::diamond(),
+            Pattern::house(),
+            Pattern::k_clique(4),
+        ] {
+            let plan = compile(&pattern, CompileOptions::default());
+            let faithful = mine_single_threaded(&g, &plan, &EngineConfig::paper_faithful());
+            let bounded = mine_single_threaded(
+                &g,
+                &plan,
+                &EngineConfig { gallop_ratio: 0, ..Default::default() },
+            );
+            let adaptive = mine_single_threaded(&g, &plan, &EngineConfig::default());
+            assert_eq!(faithful.counts, bounded.counts, "pattern {pattern}");
+            assert_eq!(faithful.counts, adaptive.counts, "pattern {pattern}");
+            // Pushing the bound into the merges can only remove set-op
+            // iterations.
+            assert!(
+                bounded.work.setop_iterations <= faithful.work.setop_iterations,
+                "pattern {pattern}"
+            );
+        }
+        // On a bounded-heavy pattern the reduction is strict.
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let faithful = mine_single_threaded(&g, &plan, &EngineConfig::paper_faithful());
+        let bounded = mine_single_threaded(
+            &g,
+            &plan,
+            &EngineConfig { gallop_ratio: 0, ..Default::default() },
+        );
+        assert!(bounded.work.setop_iterations < faithful.work.setop_iterations);
     }
 
     #[test]

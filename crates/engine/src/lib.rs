@@ -67,13 +67,41 @@ pub struct EngineConfig {
     /// always on for fairness with GraphZero; disabling it is exposed for
     /// ablation only.
     pub frontier_memo: bool,
+    /// Reproduce the paper's exact work-counter semantics: full unbounded
+    /// SIU/SDU merges for `Extend`/`ExtendDiff`/merge-pipeline candidate
+    /// generation (the merge FSM of Fig. 9 has no bound port), the
+    /// conservative bounded-build rule for the stream-and-probe path, and
+    /// no galloping. The simulator cross-checks and the Fig. 7/13 binaries
+    /// run in this mode so recorded artifacts stay comparable; the default
+    /// mode pushes symmetry bounds into candidate generation and may
+    /// dispatch to galloping, producing identical counts with less set-op
+    /// work.
+    pub paper_faithful: bool,
+    /// Adaptive set-intersection dispatch: switch from the merge kernel to
+    /// galloping (binary search) when `|small| * gallop_ratio <= |large|`.
+    /// `0` disables galloping; ignored under
+    /// [`paper_faithful`](Self::paper_faithful).
+    pub gallop_ratio: usize,
+    /// Hand start vertices to parallel workers in degree-descending order,
+    /// so the heavy hub subtrees start first and cannot land at the tail
+    /// of the schedule. Counts and aggregate work are order-independent;
+    /// only effective with `threads > 1`.
+    pub degree_sched: bool,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         // A fine scheduling grain: power-law inputs concentrate work in a
         // few hub start-vertices, and coarse chunks would serialize them.
-        EngineConfig { threads: 1, chunk_size: 4, use_cmap: false, frontier_memo: true }
+        EngineConfig {
+            threads: 1,
+            chunk_size: 4,
+            use_cmap: false,
+            frontier_memo: true,
+            paper_faithful: false,
+            gallop_ratio: 16,
+            degree_sched: true,
+        }
     }
 }
 
@@ -81,5 +109,11 @@ impl EngineConfig {
     /// Convenience: the default configuration with `threads` workers.
     pub fn with_threads(threads: usize) -> Self {
         EngineConfig { threads, ..Self::default() }
+    }
+
+    /// The configuration reproducing the paper's work-counter semantics
+    /// (see [`paper_faithful`](Self::paper_faithful)).
+    pub fn paper_faithful() -> Self {
+        EngineConfig { paper_faithful: true, ..Self::default() }
     }
 }

@@ -31,11 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// Panics if `patterns` is empty, sizes differ, or `k > 6` (the canonical
 /// code is exponential in k).
-pub fn count_induced(
-    g: &CsrGraph,
-    patterns: &[Pattern],
-    threads: usize,
-) -> MiningResult {
+pub fn count_induced(g: &CsrGraph, patterns: &[Pattern], threads: usize) -> MiningResult {
     assert!(!patterns.is_empty(), "need at least one pattern");
     let k = patterns[0].size();
     assert!(patterns.iter().all(|p| p.size() == k), "patterns must share one size");
@@ -115,8 +111,7 @@ impl<'a> EsuWorker<'a> {
         }
         self.sub.push(v);
         self.seen[v.index()] = true;
-        let ext: Vec<VertexId> =
-            self.g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
+        let ext: Vec<VertexId> = self.g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
         for &u in &ext {
             self.seen[u.index()] = true;
         }

@@ -51,10 +51,18 @@ pub fn intersect_bounded_into(
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         work.setop_iterations += 1;
-        work.comparisons += 2;
-        if a[i] >= bound || b[j] >= bound {
+        // Comparisons are charged as executed: one when the first bound
+        // check short-circuits, two when the second does, and a third for
+        // the merge compare of a surviving iteration.
+        work.comparisons += 1;
+        if a[i] >= bound {
             break;
         }
+        work.comparisons += 1;
+        if b[j] >= bound {
+            break;
+        }
+        work.comparisons += 1;
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Equal => {
                 out.push(a[i]);
@@ -78,6 +86,44 @@ pub fn difference_into(
     let (mut i, mut j) = (0, 0);
     while i < a.len() {
         work.setop_iterations += 1;
+        if j >= b.len() {
+            out.push(a[i]);
+            i += 1;
+            continue;
+        }
+        work.comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+}
+
+/// Like [`difference_into`], but stops once minuend elements reach `bound`
+/// (exclusive) — the SDU counterpart of [`intersect_bounded_into`] for
+/// bounded-build candidate generation.
+pub fn difference_bounded_into(
+    a: &[VertexId],
+    b: &[VertexId],
+    bound: VertexId,
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    work.setop_invocations += 1;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        if a[i] >= bound {
+            break;
+        }
         if j >= b.len() {
             out.push(a[i]);
             i += 1;
@@ -153,6 +199,46 @@ pub fn intersect_galloping_into(
     }
 }
 
+/// The sorted prefix of `s` strictly below `bound`, located by binary
+/// search. Charges the probe's comparisons (≈⌈log₂|s|⌉) to `work`.
+pub fn bounded_prefix<'a>(
+    s: &'a [VertexId],
+    bound: VertexId,
+    work: &mut WorkCounters,
+) -> &'a [VertexId] {
+    work.comparisons += s.len().max(1).ilog2() as u64 + 1;
+    &s[..s.partition_point(|&x| x < bound)]
+}
+
+/// Adaptive intersection dispatch: a bounded (or plain) merge by default,
+/// switching to galloping when one input is at least `gallop_ratio` times
+/// smaller than the other (`0` disables galloping). For the galloping
+/// path a vid bound is applied by truncating both inputs up front via
+/// [`bounded_prefix`]. Output and counts are identical across all three
+/// kernels; only the charged work differs.
+pub fn intersect_adaptive_into(
+    a: &[VertexId],
+    b: &[VertexId],
+    bound: Option<VertexId>,
+    gallop_ratio: usize,
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    let (small, large) = if a.len() <= b.len() { (a.len(), b.len()) } else { (b.len(), a.len()) };
+    if gallop_ratio > 0 && small.saturating_mul(gallop_ratio) <= large {
+        let (a, b) = match bound {
+            Some(bd) => (bounded_prefix(a, bd, work), bounded_prefix(b, bd, work)),
+            None => (a, b),
+        };
+        intersect_galloping_into(a, b, out, work);
+    } else {
+        match bound {
+            Some(bd) => intersect_bounded_into(a, b, bd, out, work),
+            None => intersect_into(a, b, out, work),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +269,85 @@ mod tests {
         assert_eq!(out, v(&[1, 3, 5]));
         // Early exit: at most 4 iterations for 3 results + the bound check.
         assert!(w.setop_iterations <= 4);
+    }
+
+    #[test]
+    fn bounded_intersection_charges_executed_comparisons() {
+        // First element already at the bound: the loop runs one iteration
+        // and executes exactly one comparison before breaking.
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_bounded_into(&v(&[5, 6]), &v(&[1, 5]), VertexId(3), &mut out, &mut w);
+        assert!(out.is_empty());
+        assert_eq!(w.setop_iterations, 1);
+        assert_eq!(w.comparisons, 1);
+        // Second bound check breaks: two comparisons.
+        let mut w = WorkCounters::default();
+        intersect_bounded_into(&v(&[1, 2]), &v(&[4, 5]), VertexId(3), &mut out, &mut w);
+        assert_eq!(w.comparisons, 2);
+        // A surviving iteration costs both bound checks plus the merge
+        // compare.
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_bounded_into(&v(&[1]), &v(&[1]), VertexId(9), &mut out, &mut w);
+        assert_eq!(out, v(&[1]));
+        assert_eq!(w.comparisons, 3);
+    }
+
+    #[test]
+    fn bounded_difference_matches_filtered_difference() {
+        let a = v(&[1, 2, 3, 4, 5, 8, 9]);
+        let b = v(&[2, 4, 6]);
+        let mut full = Vec::new();
+        let mut bounded = Vec::new();
+        let mut w = WorkCounters::default();
+        difference_into(&a, &b, &mut full, &mut w);
+        difference_bounded_into(&a, &b, VertexId(6), &mut bounded, &mut w);
+        full.retain(|&x| x < VertexId(6));
+        assert_eq!(bounded, full);
+        // Unreachable bound degenerates to the plain difference.
+        let mut unbounded = Vec::new();
+        difference_bounded_into(&a, &b, VertexId(100), &mut unbounded, &mut w);
+        assert_eq!(unbounded, v(&[1, 3, 5, 8, 9]));
+    }
+
+    #[test]
+    fn bounded_prefix_cuts_at_bound() {
+        let a = v(&[1, 3, 5, 7]);
+        let mut w = WorkCounters::default();
+        assert_eq!(bounded_prefix(&a, VertexId(5), &mut w), &v(&[1, 3])[..]);
+        assert_eq!(bounded_prefix(&a, VertexId(0), &mut w), &[][..]);
+        assert_eq!(bounded_prefix(&a, VertexId(99), &mut w), &a[..]);
+        assert!(w.comparisons > 0);
+    }
+
+    #[test]
+    fn adaptive_dispatch_output_is_kernel_independent() {
+        let small = v(&[3, 40, 77, 120]);
+        let large: Vec<VertexId> = (0..200).filter(|x| x % 3 == 0).map(VertexId).collect();
+        for bound in [None, Some(VertexId(80))] {
+            let mut merge_out = Vec::new();
+            let mut gallop_out = Vec::new();
+            let mut w = WorkCounters::default();
+            // ratio 0 forces the merge kernel; a tiny ratio forces gallop.
+            intersect_adaptive_into(&small, &large, bound, 0, &mut merge_out, &mut w);
+            intersect_adaptive_into(&small, &large, bound, 1, &mut gallop_out, &mut w);
+            assert_eq!(merge_out, gallop_out, "bound {bound:?}");
+        }
+        // Skew within the ratio dispatches to galloping (|small| iters);
+        // beyond it the merge kernel runs (≈|a|+|b| iters).
+        let one = v(&[50]);
+        let big: Vec<VertexId> = (0..100).map(VertexId).collect();
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_adaptive_into(&one, &big, None, 16, &mut out, &mut w);
+        assert_eq!(out, one);
+        assert_eq!(w.setop_iterations, 1, "galloped: one probe for the single element");
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_adaptive_into(&one, &big, None, 200, &mut out, &mut w);
+        assert_eq!(out, one);
+        assert!(w.setop_iterations > 10, "ratio not met: merge kernel runs");
     }
 
     #[test]

@@ -154,10 +154,7 @@ impl CsrGraph {
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices())
-            .map(|v| self.degree(VertexId(v as u32)))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_vertices()).map(|v| self.degree(VertexId(v as u32))).max().unwrap_or(0)
     }
 
     /// Average degree (directed edges / vertices; 0.0 for the empty graph).

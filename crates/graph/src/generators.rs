@@ -132,7 +132,7 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> CsrGraph {
 /// Panics if `m == 0` or `n < m + 1`.
 pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> CsrGraph {
     assert!(m >= 1, "each new vertex must attach at least one edge");
-    assert!(n >= m + 1, "need at least m+1 vertices for the seed clique");
+    assert!(n > m, "need at least m+1 vertices for the seed clique");
     let mut rng = StdRng::seed_from_u64(seed);
     // Flat endpoint list: each edge contributes both endpoints, so a uniform
     // draw from this list is a degree-proportional draw over vertices.
@@ -176,7 +176,7 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> CsrGraph {
 /// Panics if `m == 0` or `n < m + 1`.
 pub fn powerlaw_cluster(n: usize, m: usize, closure: f64, seed: u64) -> CsrGraph {
     assert!(m >= 1, "each new vertex must attach at least one edge");
-    assert!(n >= m + 1, "need at least m+1 vertices for the seed clique");
+    assert!(n > m, "need at least m+1 vertices for the seed clique");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut endpoints: Vec<u32> = Vec::new();
@@ -429,10 +429,7 @@ mod tests {
         }
         assert!(g.has_edge(VertexId(500), VertexId(501)));
         assert!(g.has_edge(VertexId(501), VertexId(502)));
-        assert_eq!(
-            g.num_undirected_edges(),
-            base.num_undirected_edges() + 3 * 200 + 3
-        );
+        assert_eq!(g.num_undirected_edges(), base.num_undirected_edges() + 3 * 200 + 3);
         assert_eq!(attach_hubs(&base, 3, 200, 7), g);
     }
 

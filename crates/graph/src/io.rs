@@ -152,10 +152,7 @@ mod tests {
 
     #[test]
     fn edge_list_rejects_garbage() {
-        assert!(matches!(
-            read_edge_list("0 x".as_bytes()),
-            Err(GraphError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(read_edge_list("0 x".as_bytes()), Err(GraphError::Parse { line: 1, .. })));
         assert!(matches!(read_edge_list("0".as_bytes()), Err(GraphError::Parse { line: 1, .. })));
         assert!(matches!(
             read_edge_list("0 1 2\n".as_bytes()),

@@ -23,7 +23,6 @@ use std::fmt;
 /// assert_eq!(v.to_string(), "v7");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VertexId(pub u32);
 
 impl VertexId {

@@ -83,9 +83,7 @@ pub fn analyze_with_order(p: &Pattern, order: &[usize]) -> AnalyzedPattern {
 
 /// `CA(i)` per depth for a pattern already labelled in matching order.
 fn ancestor_sets(p: &Pattern) -> Vec<DepthSet> {
-    (0..p.size())
-        .map(|i| DepthSet::from_depths(p.neighbors(i).iter().filter(|&j| j < i)))
-        .collect()
+    (0..p.size()).map(|i| DepthSet::from_depths(p.neighbors(i).iter().filter(|&j| j < i))).collect()
 }
 
 fn is_connected_order(p: &Pattern, order: &[usize]) -> bool {

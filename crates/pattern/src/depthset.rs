@@ -26,7 +26,6 @@ use std::fmt;
 /// assert_eq!(s.to_string(), "{0,2}");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DepthSet(u64);
 
 impl DepthSet {

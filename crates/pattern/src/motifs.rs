@@ -49,8 +49,12 @@ pub fn motifs(k: usize) -> Vec<Pattern> {
     let mut seen = std::collections::BTreeSet::new();
     let mut out: Vec<Pattern> = Vec::new();
     for mask in 0u64..(1 << pair_count) {
-        let edges: Vec<(usize, usize)> =
-            pairs.iter().enumerate().filter(|(i, _)| (mask >> i) & 1 == 1).map(|(_, &e)| e).collect();
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
         if let Ok(p) = Pattern::from_edges(k, &edges) {
             if seen.insert(p.canonical_code()) {
                 out.push(p);

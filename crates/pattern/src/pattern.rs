@@ -64,7 +64,6 @@ impl std::error::Error for PatternError {}
 /// # Ok::<(), fm_pattern::PatternError>(())
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pattern {
     n: usize,
     adj: Vec<DepthSet>,
@@ -375,14 +374,18 @@ impl std::str::FromStr for Pattern {
         if let Some((num, kind)) = s.split_once('-') {
             if let Ok(k) = num.parse::<usize>() {
                 match kind.to_ascii_lowercase().as_str() {
-                    "clique" if k >= 1 && k <= MAX_PATTERN_VERTICES => {
+                    "clique" if (1..=MAX_PATTERN_VERTICES).contains(&k) => {
                         return Ok(Pattern::k_clique(k))
                     }
-                    "cycle" if k >= 3 && k <= MAX_PATTERN_VERTICES => {
+                    "cycle" if (3..=MAX_PATTERN_VERTICES).contains(&k) => {
                         return Ok(Pattern::cycle(k))
                     }
-                    "path" if k >= 1 && k <= MAX_PATTERN_VERTICES => return Ok(Pattern::path(k)),
-                    "star" if k >= 1 && k < MAX_PATTERN_VERTICES => return Ok(Pattern::star(k)),
+                    "path" if (1..=MAX_PATTERN_VERTICES).contains(&k) => {
+                        return Ok(Pattern::path(k))
+                    }
+                    "star" if (1..MAX_PATTERN_VERTICES).contains(&k) => {
+                        return Ok(Pattern::star(k))
+                    }
                     _ => {}
                 }
             }

@@ -25,7 +25,6 @@ use std::collections::BTreeSet;
 /// a *vid upper bound* — exactly the `pruneBy` bound of the paper's IR
 /// (Listing 1).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SymmetryPair {
     /// Matching-order position whose data vertex must be larger.
     pub earlier: usize,
@@ -81,12 +80,11 @@ fn transitive_reduction(n: usize, pairs: Vec<SymmetryPair>) -> Vec<SymmetryPair>
     }
     let mut reach = direct.clone();
     for k in 0..n {
-        for i in 0..n {
-            if reach[i][k] {
-                for j in 0..n {
-                    if reach[k][j] {
-                        reach[i][j] = true;
-                    }
+        let row_k = reach[k].clone();
+        for row in &mut reach {
+            if row[k] {
+                for (ri, &rk) in row.iter_mut().zip(&row_k) {
+                    *ri |= rk;
                 }
             }
         }
@@ -203,8 +201,7 @@ mod tests {
 
     #[test]
     fn transitive_reduction_removes_implied_pairs() {
-        let pairs =
-            transitive_reduction(3, vec![pair(0, 1), pair(1, 2), pair(0, 2)]);
+        let pairs = transitive_reduction(3, vec![pair(0, 1), pair(1, 2), pair(0, 2)]);
         assert_eq!(pairs, vec![pair(0, 1), pair(1, 2)]);
     }
 

@@ -64,8 +64,7 @@ pub fn compile(pattern: &Pattern, options: CompileOptions) -> ExecutionPlan {
     let analyzed = analysis::analyze(pattern);
     let ops = chain_ops(&analyzed, options);
     let root = chain_to_tree(&ops, 0);
-    let mut plan =
-        ExecutionPlan {
+    let mut plan = ExecutionPlan {
         root,
         patterns: vec![meta],
         orientation: false,
@@ -161,8 +160,13 @@ fn clique_plan(k: usize, meta: PatternMeta) -> ExecutionPlan {
         })
         .collect();
     let root = chain_to_tree(&ops, 0);
-    let mut plan =
-        ExecutionPlan { root, patterns: vec![meta], orientation: true, induced: false, symmetry: true };
+    let mut plan = ExecutionPlan {
+        root,
+        patterns: vec![meta],
+        orientation: true,
+        induced: false,
+        symmetry: true,
+    };
     annotate_cmap_hints(&mut plan);
     plan
 }
@@ -185,9 +189,7 @@ fn chain_ops(a: &AnalyzedPattern, options: CompileOptions) -> Vec<VertexOp> {
             Extender::Root => ca,
         };
         let upper_bounds = if options.symmetry {
-            DepthSet::from_depths(
-                a.symmetry.iter().filter(|p| p.later == depth).map(|p| p.earlier),
-            )
+            DepthSet::from_depths(a.symmetry.iter().filter(|p| p.later == depth).map(|p| p.earlier))
         } else {
             DepthSet::new()
         };
@@ -196,8 +198,14 @@ fn chain_ops(a: &AnalyzedPattern, options: CompileOptions) -> Vec<VertexOp> {
         } else {
             DepthSet::new()
         };
-        let mut op =
-            VertexOp { depth, extender, upper_bounds, connected, disconnected, frontier: FrontierHint::None };
+        let mut op = VertexOp {
+            depth,
+            extender,
+            upper_bounds,
+            connected,
+            disconnected,
+            frontier: FrontierHint::None,
+        };
         if depth > 0 {
             op.frontier = frontier_hint(&ops[depth - 1], &op);
         }
@@ -411,8 +419,7 @@ mod tests {
         assert_eq!(plan.node_count(), 5);
         let level2 = &plan.root.children[0].children[0];
         assert_eq!(level2.children.len(), 2);
-        let leaves: Vec<usize> =
-            level2.children.iter().filter_map(|c| c.pattern_index).collect();
+        let leaves: Vec<usize> = level2.children.iter().filter_map(|c| c.pattern_index).collect();
         assert_eq!(leaves, vec![0, 1]);
         assert!(!plan.orientation);
     }
@@ -438,8 +445,10 @@ mod tests {
 
     #[test]
     fn triangle_without_orientation_extends_frontier() {
-        let plan =
-            compile(&Pattern::triangle(), CompileOptions { orientation: false, ..Default::default() });
+        let plan = compile(
+            &Pattern::triangle(),
+            CompileOptions { orientation: false, ..Default::default() },
+        );
         assert!(!plan.orientation);
         let ops: Vec<&VertexOp> = plan.root.iter().map(|n| &n.op).collect();
         assert_eq!(ops[2].frontier, FrontierHint::Extend);
@@ -451,7 +460,10 @@ mod tests {
     #[test]
     fn compile_is_deterministic() {
         for p in [Pattern::cycle(4), Pattern::diamond(), Pattern::house()] {
-            assert_eq!(compile(&p, CompileOptions::default()), compile(&p, CompileOptions::default()));
+            assert_eq!(
+                compile(&p, CompileOptions::default()),
+                compile(&p, CompileOptions::default())
+            );
         }
         let ms = fm_pattern::motifs::motifs(4);
         assert_eq!(

@@ -36,6 +36,17 @@ pub enum FrontierHint {
     ExtendDiff,
 }
 
+impl FrontierHint {
+    /// Whether an op with this hint consumes the previous level's
+    /// materialized frontier list (every hint except [`None`](Self::None)).
+    /// Consumers see any truncation applied when that list was built, which
+    /// is what the bounded-build analysis in `fm_plan::lowering` reasons
+    /// about.
+    pub fn consumes_frontier(self) -> bool {
+        self != FrontierHint::None
+    }
+}
+
 /// One entry of the plan's vertex section: how to generate and prune the
 /// candidates for one DFS level.
 ///
@@ -235,6 +246,14 @@ mod tests {
         let mut root = op(0);
         root.connected = DepthSet::new();
         assert!(root.full_connected().is_empty());
+    }
+
+    #[test]
+    fn consumes_frontier_is_every_hint_but_none() {
+        assert!(!FrontierHint::None.consumes_frontier());
+        assert!(FrontierHint::Reuse.consumes_frontier());
+        assert!(FrontierHint::Extend.consumes_frontier());
+        assert!(FrontierHint::ExtendDiff.consumes_frontier());
     }
 
     #[test]

@@ -16,11 +16,20 @@ use fm_pattern::DepthSet;
 pub struct LowerOptions {
     /// Honor the plan's frontier-memoization hints (the paper's default).
     pub frontier_memo: bool,
+    /// Push symmetry bounds down into candidate generation: mark an op
+    /// [`bounded_build`](ProgNode::bounded_build) whenever truncating its
+    /// materialized core at the vid bound is provably invisible to every
+    /// transitive frontier consumer (see [`bound_is_covered`]). When
+    /// disabled, only ops whose core no descendant consumes are marked —
+    /// the conservative rule matching the paper's SIU, whose merge FSM
+    /// (Fig. 9) has no bound port. The cycle-accurate simulator and
+    /// `paper_faithful` engine runs lower with this off.
+    pub bounded_pushdown: bool,
 }
 
 impl Default for LowerOptions {
     fn default() -> Self {
-        LowerOptions { frontier_memo: true }
+        LowerOptions { frontier_memo: true, bounded_pushdown: true }
     }
 }
 
@@ -60,8 +69,11 @@ pub struct ProgNode {
     pub cmap_insert: bool,
     /// Insertion vid filter: only neighbors `< emb[l]` (recomputed).
     pub cmap_insert_bound: Option<usize>,
-    /// The materialized core may be truncated at the vid bound (no child
-    /// reuses it under looser bounds).
+    /// The materialized core may be truncated at the vid bound: either no
+    /// descendant consumes it (the conservative rule), or — with
+    /// [`LowerOptions::bounded_pushdown`] — every transitive frontier
+    /// consumer's own symmetry bounds provably discard the truncated
+    /// suffix anyway.
     pub bounded_build: bool,
     /// Whether this op resolves its constraints by *stream-and-probe*
     /// when the c-map is available: stream the extender's adjacency and
@@ -114,7 +126,7 @@ impl ProgNode {
 pub fn lower(plan: &ExecutionPlan, options: LowerOptions) -> Program {
     let mut nodes = Vec::with_capacity(plan.node_count());
     flatten(&plan.root, options, true, &mut nodes);
-    annotate(&mut nodes);
+    annotate(&mut nodes, options);
     Program { nodes, depth: plan.depth() }
 }
 
@@ -168,7 +180,8 @@ fn flatten(
 
 /// Recomputes the c-map hints and bounded-build flags for the effective
 /// frontier hints (same algorithm as the compiler's §VI-B pass).
-fn annotate(nodes: &mut [ProgNode]) {
+fn annotate(nodes: &mut [ProgNode], options: LowerOptions) {
+    let parents = parent_index(nodes);
     for i in 0..nodes.len() {
         let d = nodes[i].depth;
         let known = DepthSet::from_depths(0..=d);
@@ -190,10 +203,84 @@ fn annotate(nodes: &mut [ProgNode]) {
         }
         nodes[i].cmap_insert = queried;
         nodes[i].cmap_insert_bound = if queried { common.and_then(|s| s.min()) } else { None };
-        let children = nodes[i].children.clone();
-        nodes[i].bounded_build = !nodes[i].upper_bounds.is_empty()
-            && children.iter().all(|&c| nodes[c].frontier == FrontierHint::None);
+        nodes[i].bounded_build = if nodes[i].upper_bounds.is_empty() {
+            false
+        } else if options.bounded_pushdown {
+            // Truncating the core at `min(emb[l])` over this op's bounds is
+            // safe iff every transitive consumer would have rejected the
+            // truncated suffix through its own bounds anyway.
+            let bounds = nodes[i].upper_bounds.clone();
+            transitive_consumers(nodes, i)
+                .iter()
+                .all(|&c| bounds.iter().all(|&l| bound_is_covered(nodes, &parents, c, l)))
+        } else {
+            nodes[i].children.iter().all(|&c| !nodes[c].frontier.consumes_frontier())
+        };
     }
+}
+
+/// Parent arena index of every node (`None` for the root).
+fn parent_index(nodes: &[ProgNode]) -> Vec<Option<usize>> {
+    let mut parents = vec![None; nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        for &c in &n.children {
+            parents[c] = Some(i);
+        }
+    }
+    parents
+}
+
+/// All descendants whose candidate lists derive from `node`'s materialized
+/// core: reachable through an unbroken chain of frontier-consuming
+/// children. `Reuse` ops forward the very same buffer and
+/// `Extend`/`ExtendDiff` ops merge it into theirs, so a truncation applied
+/// when the core was built propagates through both.
+fn transitive_consumers(nodes: &[ProgNode], node: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut stack: Vec<usize> = consuming_children(nodes, node).collect();
+    while let Some(c) = stack.pop() {
+        stack.extend(consuming_children(nodes, c));
+        out.push(c);
+    }
+    out
+}
+
+fn consuming_children<'a>(nodes: &'a [ProgNode], node: usize) -> impl Iterator<Item = usize> + 'a {
+    nodes[node].children.iter().copied().filter(|&c| nodes[c].frontier.consumes_frontier())
+}
+
+/// Whether consumer `c`'s own symmetry bounds already enforce
+/// `w < emb[l]` for every candidate `w` it accepts — in which case a core
+/// truncated at `emb[l]` is indistinguishable from the full one at `c`.
+///
+/// `c` enforces `w < emb[l']` for each `l'` in its `upper_bounds`. That
+/// implies `w < emb[l]` when `emb[l'] ≤ emb[l]` is *guaranteed*, and the
+/// guarantees available are the strict orderings the ancestors' symmetry
+/// bounds established: an ancestor op at depth `a` with bound level `u`
+/// pinned `emb[a] < emb[u]`. Coverage is therefore reachability from some
+/// `l'` to `l` in that ordering DAG (`l' == l` trivially qualifies).
+fn bound_is_covered(nodes: &[ProgNode], parents: &[Option<usize>], c: usize, l: usize) -> bool {
+    let depth = nodes[c].depth;
+    // lt[a] = levels known to hold values greater than emb[a].
+    let mut lt: Vec<Vec<usize>> = vec![Vec::new(); depth];
+    let mut anc = parents[c];
+    while let Some(i) = anc {
+        debug_assert!(nodes[i].depth < depth, "ancestors sit at strictly shallower depths");
+        lt[nodes[i].depth].extend(nodes[i].upper_bounds.iter().copied());
+        anc = parents[i];
+    }
+    let mut seen = vec![false; depth];
+    let mut stack: Vec<usize> = nodes[c].upper_bounds.clone();
+    while let Some(x) = stack.pop() {
+        if x == l {
+            return true;
+        }
+        if std::mem::replace(&mut seen[x], true) {
+            continue;
+        }
+        stack.extend(lt[x].iter().copied());
+    }
+    false
 }
 
 #[cfg(test)]
@@ -229,7 +316,7 @@ mod tests {
         assert!(!prog.nodes[2].cmap_insert);
         // Without frontier memoization there is no merge alternative; the
         // deep op probes both shallow levels, so level 1 inserts too.
-        let without = lower(&plan, LowerOptions { frontier_memo: false });
+        let without = lower(&plan, LowerOptions { frontier_memo: false, ..Default::default() });
         assert_eq!(without.nodes[3].frontier, FrontierHint::None);
         assert!(without.nodes[3].probe);
         assert!(without.nodes[0].cmap_insert);
@@ -252,5 +339,71 @@ mod tests {
         assert!(!prog.nodes[2].bounded_build);
         // v3 (leaf, bounded) may truncate.
         assert!(prog.nodes[3].bounded_build);
+    }
+
+    #[test]
+    fn pushdown_marks_bounded_when_consumers_are_covered() {
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let prog = lower(&plan, LowerOptions::default());
+        // v1's core (adj(v0), bounded by v0) is reused by v2. v2 keeps only
+        // w < v1 and v1 < v0 is pinned by v1's own bound, so the suffix
+        // ≥ v0 that truncation drops was unreachable for v2 anyway.
+        assert_eq!(prog.nodes[2].frontier, FrontierHint::Reuse);
+        assert!(prog.nodes[1].bounded_build);
+        // The conservative rule (SIU semantics, no bound port) refuses
+        // because v2 consumes the list...
+        let faithful = lower(&plan, LowerOptions { bounded_pushdown: false, ..Default::default() });
+        assert!(!faithful.nodes[1].bounded_build);
+        // ...while the consumer-free leaf truncates under both rules.
+        assert!(prog.nodes[3].bounded_build);
+        assert!(faithful.nodes[3].bounded_build);
+    }
+
+    #[test]
+    fn pushdown_refuses_uncovered_consumers() {
+        use crate::ir::{ExecutionPlan, Extender, PatternMeta, PlanNode, VertexOp};
+        // Hand-built plan: v1 (bounded by v0) materializes adj(v0), and v2
+        // reuses that list with no bound of its own — v2 must see the full
+        // list, so v1 may not truncate even with pushdown enabled.
+        let op0 = VertexOp {
+            depth: 0,
+            extender: Extender::Root,
+            upper_bounds: DepthSet::new(),
+            connected: DepthSet::new(),
+            disconnected: DepthSet::new(),
+            frontier: FrontierHint::None,
+        };
+        let mut op1 = op0.clone();
+        op1.depth = 1;
+        op1.extender = Extender::Level(0);
+        op1.upper_bounds = DepthSet::from_depths([0]);
+        let mut op2 = op1.clone();
+        op2.depth = 2;
+        op2.upper_bounds = DepthSet::new();
+        op2.frontier = FrontierHint::Reuse;
+        let mut leaf = PlanNode::new(op2);
+        leaf.pattern_index = Some(0);
+        let mut mid = PlanNode::new(op1);
+        mid.children.push(leaf);
+        let mut root = PlanNode::new(op0);
+        root.children.push(mid);
+        let plan = ExecutionPlan {
+            root,
+            patterns: vec![PatternMeta { name: "path".into(), size: 3, automorphisms: 2 }],
+            orientation: false,
+            induced: false,
+            symmetry: true,
+        };
+        let prog = lower(&plan, LowerOptions::default());
+        assert!(!prog.nodes[1].bounded_build);
+    }
+
+    #[test]
+    fn orientation_plans_have_nothing_to_bound() {
+        // The oriented k-clique plan carries no symmetry bounds at all
+        // (orientation subsumes them), so pushdown marks nothing.
+        let plan = compile(&Pattern::k_clique(5), CompileOptions::default());
+        let prog = lower(&plan, LowerOptions::default());
+        assert!(prog.nodes.iter().all(|n| !n.bounded_build));
     }
 }

@@ -80,7 +80,7 @@ proptest! {
     fn lowering_probe_levels_are_insertable(p in arb_pattern(), opts in arb_options()) {
         let plan = compile(&p, opts);
         for memo in [true, false] {
-            let prog = lower(&plan, LowerOptions { frontier_memo: memo });
+            let prog = lower(&plan, LowerOptions { frontier_memo: memo, ..Default::default() });
             prop_assert_eq!(prog.nodes.len(), plan.node_count());
             prop_assert_eq!(prog.depth, plan.depth());
             // Walk root-to-leaf paths tracking insert-hinted depths.

@@ -51,10 +51,15 @@ impl HwCmap {
         self.entries
     }
 
-    /// Load factor in [0, 1] (0 for unlimited capacity).
+    /// Load factor in [0, 1] (0 for unlimited capacity). A zero-capacity
+    /// map is permanently saturated, matching
+    /// [`would_overflow`](Self::would_overflow), which rejects every
+    /// insertion into it.
     pub fn load(&self) -> f64 {
-        if self.entries == usize::MAX || self.entries == 0 {
+        if self.entries == usize::MAX {
             0.0
+        } else if self.entries == 0 {
+            1.0
         } else {
             self.map.len() as f64 / self.entries as f64
         }
@@ -160,6 +165,19 @@ mod tests {
         assert!(m.would_overflow(76, 0.75));
         let unlimited = HwCmap::new(usize::MAX, 4);
         assert!(!unlimited.would_overflow(1 << 30, 0.75));
+    }
+
+    #[test]
+    fn zero_capacity_is_saturated_not_unlimited() {
+        // A disabled c-map (`HwCmap::new(0, _)`) must look full from every
+        // angle: previously `load()` reported 0.0 (the unlimited-capacity
+        // answer) while `would_overflow` rejected all insertions.
+        let m = HwCmap::new(0, 4);
+        assert_eq!(m.load(), 1.0);
+        assert!(m.would_overflow(1, 0.75));
+        let unlimited = HwCmap::new(usize::MAX, 4);
+        assert_eq!(unlimited.load(), 0.0);
+        assert!(!unlimited.would_overflow(1, 0.75));
     }
 
     #[test]

@@ -108,7 +108,8 @@ mod tests {
     }
 
     #[test]
-    fn channel_saturation_raises_latency() { // (row-state-aware)
+    fn channel_saturation_raises_latency() {
+        // (row-state-aware)
         let mut d = Dram::new(DramConfig::default());
         // Saturate all channels for one epoch.
         for i in 0..10_000u64 {

@@ -134,8 +134,8 @@ mod tests {
         assert!(e.total_mj() > 0.0);
         assert!(e.pe_mj > 0.0);
         assert!(e.cmap_mj > 0.0);
-        let manual = e.pe_mj + e.siu_mj + e.cmap_mj + e.l1_mj + e.l2_mj + e.noc_mj + e.dram_mj
-            + e.static_mj;
+        let manual =
+            e.pe_mj + e.siu_mj + e.cmap_mj + e.l1_mj + e.l2_mj + e.noc_mj + e.dram_mj + e.static_mj;
         assert!((e.total_mj() - manual).abs() < 1e-12);
     }
 

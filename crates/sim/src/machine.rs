@@ -67,12 +67,15 @@ pub fn simulate(graph: &CsrGraph, plan: &ExecutionPlan, cfg: &SimConfig) -> SimR
     let prepared = prepare_graph(graph, plan);
     let g: &CsrGraph = &prepared;
     let map = AddressMap::for_graph(g);
-    let prog = lower(plan, LowerOptions { frontier_memo: cfg.frontier_memo });
+    // `bounded_pushdown` stays off: the SIU merge FSM (Fig. 9) has no
+    // bound port, so the cycle model must charge full unbounded merges to
+    // stay comparable with the paper's numbers and the faithful engine.
+    let prog =
+        lower(plan, LowerOptions { frontier_memo: cfg.frontier_memo, bounded_pushdown: false });
     let mut shared = MemorySystem::new(cfg);
     let mut sched = Scheduler::new(g, cfg.task_chunk);
-    let mut pes: Vec<Pe> = (0..cfg.num_pes.max(1))
-        .map(|i| Pe::new(i, cfg, prog.depth, plan.patterns.len()))
-        .collect();
+    let mut pes: Vec<Pe> =
+        (0..cfg.num_pes.max(1)).map(|i| Pe::new(i, cfg, prog.depth, plan.patterns.len())).collect();
 
     let mut deadline = cfg.epoch.max(1);
     loop {
@@ -117,7 +120,10 @@ mod tests {
     use fm_plan::{compile, compile_multi, CompileOptions};
 
     fn engine_counts(g: &CsrGraph, plan: &ExecutionPlan) -> Vec<u64> {
-        mine_single_threaded(g, plan, &EngineConfig::default()).counts
+        // Cross-checks run the engine in paper-faithful mode, the software
+        // twin of the simulated datapath (counts are mode-independent, but
+        // faithful keeps the comparison apples-to-apples).
+        mine_single_threaded(g, plan, &EngineConfig::paper_faithful()).counts
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl Pe {
             pending: vec![None; depth.max(1)],
             inserted_ok: vec![false; depth.max(1)],
             overflowed: vec![false; depth.max(1)],
-            cmap: HwCmap::new(if cfg.cmap_enabled() { cfg.cmap_entries() } else { 0 }, cfg.cmap_banks),
+            cmap: HwCmap::new(
+                if cfg.cmap_enabled() { cfg.cmap_entries() } else { 0 },
+                cfg.cmap_banks,
+            ),
             l1: SetAssocCache::new(cfg.l1_bytes, cfg.l1_assoc, cfg.line_bytes),
             noc_rt: cfg.noc_round_trip(id),
             counts: vec![0; patterns],
@@ -134,7 +137,7 @@ impl Pe {
                 }
                 let v = self.task[self.task_at];
                 self.task_at += 1;
-                self.enter(g, map, prog, shared, cfg, 0, VertexId(v));
+                self.enter(prog, cfg, 0, VertexId(v));
                 continue;
             }
             let top = self.stack.len() - 1;
@@ -177,16 +180,14 @@ impl Pe {
                 }
                 Frame::Step { node, cand, len, bound, built } => {
                     if !built {
-                        let (new_len, new_bound) =
-                            self.build_core(g, map, prog, shared, cfg, node);
+                        let (new_len, new_bound) = self.build_core(g, map, prog, shared, cfg, node);
                         // Leaf fast path: at a terminal pattern level the
                         // pruner streams candidates at one per cycle and
                         // the reducer counts the survivors with no stack
                         // traffic (§IV-B: "the reducer increases the local
                         // count").
                         let n = &prog.nodes[node];
-                        if n.pattern_index.is_some() && n.children.is_empty() {
-                            let pi = n.pattern_index.expect("checked above");
+                        if let (Some(pi), true) = (n.pattern_index, n.children.is_empty()) {
                             let d = n.depth;
                             let core = self.core_at[d];
                             let mut found = 0u64;
@@ -227,22 +228,20 @@ impl Pe {
                     }
                     let d = prog.nodes[node].depth;
                     let w = self.frontiers[self.core_at[d]][cand];
-                    self.stack[top] =
-                        Frame::Step { node, cand: cand + 1, len, bound, built };
+                    self.stack[top] = Frame::Step { node, cand: cand + 1, len, bound, built };
                     self.stats.candidates += 1;
                     self.charge(1);
                     if let Some(b) = bound {
                         if w >= b {
                             // Sorted core: nothing further qualifies.
-                            self.stack[top] =
-                                Frame::Step { node, cand: len, len, bound, built };
+                            self.stack[top] = Frame::Step { node, cand: len, len, bound, built };
                             continue;
                         }
                     }
                     if prog.nodes[node].injectivity.iter().any(|&l| self.emb[l] == w) {
                         continue;
                     }
-                    self.enter(g, map, prog, shared, cfg, node, w);
+                    self.enter(prog, cfg, node, w);
                 }
             }
         }
@@ -250,16 +249,7 @@ impl Pe {
 
     /// Pushes `w` as the embedding vertex for `node`: reducer update,
     /// compiler-directed c-map insertion, and an `Enter` frame.
-    fn enter(
-        &mut self,
-        _g: &CsrGraph,
-        _map: &AddressMap,
-        prog: &Program,
-        _shared: &mut MemorySystem,
-        cfg: &SimConfig,
-        node_idx: usize,
-        w: VertexId,
-    ) {
+    fn enter(&mut self, prog: &Program, cfg: &SimConfig, node_idx: usize, w: VertexId) {
         let node = &prog.nodes[node_idx];
         let d = node.depth;
         debug_assert_eq!(self.emb.len(), d);
@@ -347,13 +337,11 @@ impl Pe {
         let node = &prog.nodes[node_idx];
         let d = node.depth;
         let bound: Option<VertexId> = node.upper_bounds.iter().map(|&l| self.emb[l]).min();
-        let persist =
-            node.children.iter().any(|&c| prog.nodes[c].frontier != FrontierHint::None);
+        let persist = node.children.iter().any(|&c| prog.nodes[c].frontier != FrontierHint::None);
         let has_constraints = !(node.connected.is_empty() && node.disconnected.is_empty());
         let mut cmap_ok = cfg.cmap_enabled() && node.probe;
         if cmap_ok {
-            let probe_levels =
-                node.connected.iter().chain(node.disconnected.iter()).copied();
+            let probe_levels = node.connected.iter().chain(node.disconnected.iter()).copied();
             for l in probe_levels {
                 if !self.ensure_level(g, map, shared, cfg, l) {
                     cmap_ok = false;

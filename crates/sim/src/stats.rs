@@ -116,8 +116,8 @@ impl SimReport {
             return 1.0;
         }
         let max = *self.pe_finish_cycles.iter().max().expect("nonempty") as f64;
-        let mean = self.pe_finish_cycles.iter().sum::<u64>() as f64
-            / self.pe_finish_cycles.len() as f64;
+        let mean =
+            self.pe_finish_cycles.iter().sum::<u64>() as f64 / self.pe_finish_cycles.len() as f64;
         if mean == 0.0 {
             1.0
         } else {

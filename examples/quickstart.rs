@@ -10,14 +10,9 @@ use fm_graph::GraphBuilder;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small collaboration graph: two triangles sharing an edge, plus a
     // pendant collaborator.
-    let graph = GraphBuilder::new()
-        .edges([(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)])
-        .build()?;
-    println!(
-        "graph: {} vertices, {} edges",
-        graph.num_vertices(),
-        graph.num_undirected_edges()
-    );
+    let graph =
+        GraphBuilder::new().edges([(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]).build()?;
+    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_undirected_edges());
 
     // 1. Inspect the compiler's execution plan (the paper's Listing-1 IR).
     let job = Miner::new(&graph).pattern(Pattern::triangle());

@@ -19,7 +19,13 @@ fn graphs() -> Vec<(&'static str, CsrGraph)> {
         ("er-dense", generators::erdos_renyi(90, 0.25, 3)),
         ("bipartite", generators::complete_bipartite(12, 13)),
         ("grid", generators::grid(9, 8)),
-        ("hubbed", generators::shuffle_ids(&generators::attach_hubs(&generators::powerlaw_cluster(150, 3, 0.4, 5), 3, 60, 8), 2)),
+        (
+            "hubbed",
+            generators::shuffle_ids(
+                &generators::attach_hubs(&generators::powerlaw_cluster(150, 3, 0.4, 5), 3, 60, 8),
+                2,
+            ),
+        ),
         ("caveman", generators::caveman(8, 9, 30, 4)),
     ]
 }
@@ -41,39 +47,35 @@ fn patterns() -> Vec<Pattern> {
 }
 
 fn all_executor_counts(g: &CsrGraph, plan: &ExecutionPlan) -> Vec<(String, Vec<u64>)> {
-    let mut out = Vec::new();
-    out.push((
-        "engine-1t".into(),
-        mine_single_threaded(g, plan, &EngineConfig::default()).counts,
-    ));
-    out.push(("engine-4t".into(), mine(g, plan, &EngineConfig::with_threads(4)).counts));
-    out.push((
-        "engine-cmap".into(),
-        mine_single_threaded(g, plan, &EngineConfig { use_cmap: true, ..Default::default() })
+    let mut out = vec![
+        ("engine-1t".into(), mine_single_threaded(g, plan, &EngineConfig::default()).counts),
+        ("engine-4t".into(), mine(g, plan, &EngineConfig::with_threads(4)).counts),
+        (
+            "engine-faithful".into(),
+            mine_single_threaded(g, plan, &EngineConfig::paper_faithful()).counts,
+        ),
+        (
+            "engine-cmap".into(),
+            mine_single_threaded(g, plan, &EngineConfig { use_cmap: true, ..Default::default() })
+                .counts,
+        ),
+        (
+            "engine-nomemo".into(),
+            mine_single_threaded(
+                g,
+                plan,
+                &EngineConfig { frontier_memo: false, ..Default::default() },
+            )
             .counts,
-    ));
-    out.push((
-        "engine-nomemo".into(),
-        mine_single_threaded(
-            g,
-            plan,
-            &EngineConfig { frontier_memo: false, ..Default::default() },
-        )
-        .counts,
-    ));
+        ),
+    ];
     for (name, cfg) in [
         ("sim-default", SimConfig::with_pes(4)),
         ("sim-nocmap", SimConfig { num_pes: 3, cmap_bytes: 0, ..Default::default() }),
         ("sim-tinycmap", SimConfig { num_pes: 2, cmap_bytes: 80, ..Default::default() }),
         ("sim-unlimited", SimConfig { num_pes: 5, cmap_bytes: usize::MAX, ..Default::default() }),
-        (
-            "sim-narrow-value",
-            SimConfig { num_pes: 2, cmap_value_bits: 2, ..Default::default() },
-        ),
-        (
-            "sim-nomemo",
-            SimConfig { num_pes: 2, frontier_memo: false, ..Default::default() },
-        ),
+        ("sim-narrow-value", SimConfig { num_pes: 2, cmap_value_bits: 2, ..Default::default() }),
+        ("sim-nomemo", SimConfig { num_pes: 2, frontier_memo: false, ..Default::default() }),
     ] {
         out.push((name.into(), simulate(g, plan, &cfg).counts));
     }

@@ -71,10 +71,7 @@ fn grid_counts() {
     assert_eq!(count(&g, Pattern::triangle()), 0);
     assert_eq!(count(&g, Pattern::cycle(4)), 5 * 4);
     // Stars of 3 leaves: one per vertex of degree >= 3 with C(d,3).
-    let expected: u64 = g
-        .vertices()
-        .map(|v| choose(g.degree(v) as u64, 3))
-        .sum();
+    let expected: u64 = g.vertices().map(|v| choose(g.degree(v) as u64, 3)).sum();
     assert_eq!(count(&g, Pattern::star(3)), expected);
 }
 

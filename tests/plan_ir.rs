@@ -30,10 +30,8 @@ fn listing_one_golden() {
 fn listing_two_structure() {
     // Listing 2: diamond + tailed-triangle share v0, v1, v2 and branch at
     // depth 3.
-    let plan = compile_multi(
-        &[Pattern::diamond(), Pattern::tailed_triangle()],
-        CompileOptions::default(),
-    );
+    let plan =
+        compile_multi(&[Pattern::diamond(), Pattern::tailed_triangle()], CompileOptions::default());
     assert_eq!(plan.node_count(), 5);
     assert_eq!(plan.depth(), 4);
     let shared_l2 = &plan.root.children[0].children[0];
@@ -69,8 +67,7 @@ fn motif_plans_have_one_leaf_per_motif() {
     for k in [3usize, 4] {
         let ms = motifs::motifs(k);
         let plan = compile_multi(&ms, CompileOptions::induced());
-        let leaves: Vec<usize> =
-            plan.root.iter().filter_map(|n| n.pattern_index).collect();
+        let leaves: Vec<usize> = plan.root.iter().filter_map(|n| n.pattern_index).collect();
         assert_eq!(leaves.len(), ms.len(), "k = {k}");
         // Every pattern is matched exactly once, in order.
         let mut sorted = leaves.clone();
@@ -78,10 +75,7 @@ fn motif_plans_have_one_leaf_per_motif() {
         assert_eq!(sorted, (0..ms.len()).collect::<Vec<_>>());
         assert!(plan.induced);
         // Induced plans carry disconnection constraints for sparse motifs.
-        assert!(plan
-            .root
-            .iter()
-            .any(|n| !n.op.disconnected.is_empty()));
+        assert!(plan.root.iter().any(|n| !n.op.disconnected.is_empty()));
     }
 }
 

@@ -82,11 +82,8 @@ fn cmap_capacity_gradient_is_monotonic_enough() {
         );
     }
     // And small maps overflow more.
-    let small = simulate(
-        &g,
-        &plan,
-        &SimConfig { num_pes: 8, cmap_bytes: 1024, ..Default::default() },
-    );
+    let small =
+        simulate(&g, &plan, &SimConfig { num_pes: 8, cmap_bytes: 1024, ..Default::default() });
     let big = simulate(
         &g,
         &plan,

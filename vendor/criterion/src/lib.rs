@@ -1,0 +1,233 @@
+//! Offline stand-in for the subset of the `criterion` API used by this
+//! workspace's benches.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal timing harness with the same call surface:
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], `Bencher::iter`, [`black_box`], and
+//! the `criterion_group!` / `criterion_main!` macros. There is no
+//! statistical analysis: each benchmark is warmed up, run for a fixed
+//! measurement window, and reported as mean ns/iter (plus element
+//! throughput when configured) on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting benchmark
+/// bodies. Same contract as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("merge", 1024)` renders as `merge/1024`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter (upstream parity).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The harness entry point handed to benchmark functions.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure_for: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group; benchmarks in it print as `group/bench`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), None, self.measure_for, |b| f(b));
+        self
+    }
+}
+
+/// A group of related benchmarks (shared prefix and throughput setting).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the stand-in sizes its
+    /// measurement window by time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used for derived reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, self.criterion.measure_for, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, self.criterion.measure_for, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream parity; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter) exactly
+/// once per invocation.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    label: &str,
+    throughput: Option<Throughput>,
+    measure_for: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration: run single iterations until we know the per-iter cost.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (measure_for.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000_000) as u64;
+    // Measurement window.
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let total = b.elapsed.max(Duration::from_nanos(1));
+    let ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    let mut line =
+        format!("bench {label:<48} {:>14} ns/iter ({iters} iters)", format_ns(ns_per_iter));
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if count > 0 && ns_per_iter > 0.0 {
+            let per_sec = count as f64 * 1e9 / ns_per_iter;
+            line.push_str(&format!("  {per_sec:.3e} {unit}/s"));
+        }
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { measure_for: Duration::from_millis(5) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &x| {
+            ran += 1;
+            b.iter(|| x + 1);
+        });
+        group.bench_function("plain", |b| b.iter(|| 2 + 2));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1)));
+        assert!(ran >= 2, "calibration plus measurement runs");
+    }
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("merge", 64).to_string(), "merge/64");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

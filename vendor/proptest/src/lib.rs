@@ -1,0 +1,387 @@
+//! Offline stand-in for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing harness with the same surface the
+//! tests were written against: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, [`Strategy`] with `prop_map`, integer-range and
+//! tuple strategies, `any::<T>()`, `prop::collection::vec`, and
+//! `prop::sample::select`.
+//!
+//! Differences from upstream: cases are derived from a per-test seed (the
+//! FNV-1a hash of the test name) so runs are deterministic and
+//! reproducible, and failing cases are reported with their case index and
+//! seed instead of being shrunk. Set `PROPTEST_SEED` to override the base
+//! seed when hunting a failure.
+
+use std::fmt;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// A failed property within a test case (produced by `prop_assert!`).
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// An explicit failure, mirroring upstream's `TestCaseError::fail`.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TestCaseError({})", self.0)
+    }
+}
+
+/// Runner configuration; only `cases` is meaningful in this stand-in.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// A value generator. Unlike upstream there is no shrinking: `generate`
+/// draws the value directly from the test RNG.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy for any value of `T` (upstream's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Sub-strategy namespaces, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// Generates vectors whose length is uniform in `size` and whose
+        /// elements come from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.is_empty() {
+                    self.size.start
+                } else {
+                    rng.gen_range(self.size.clone())
+                };
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy choosing uniformly among a fixed set of values.
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// Uniform choice from `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics at generation time if `options` is empty.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                assert!(!self.options.is_empty(), "select() needs at least one option");
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+    }
+}
+
+/// FNV-1a hash of the test name: the per-test base seed.
+pub fn seed_for(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Creates the RNG for one test case.
+pub fn case_rng(base_seed: u64, case: u32) -> TestRng {
+    TestRng::seed_from_u64(base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property, failing the *case* (with its
+/// seed) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let base_seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::case_rng(base_seed, case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "property {} failed at case {}/{} (base seed {}): {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        base_seed,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u32..10, (a, b) in (0usize..5, 3i32..=4)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 5);
+            prop_assert!(b == 3 || b == 4);
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0u32..100, 0..20).prop_map(|mut v| { v.sort_unstable(); v })) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn select_and_any(s in prop::sample::select(vec!["a", "b"]), n in any::<u64>()) {
+            prop_assert!(s == "a" || s == "b");
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(super::seed_for("x"), super::seed_for("x"));
+        assert_ne!(super::seed_for("x"), super::seed_for("y"));
+    }
+}
