@@ -15,11 +15,14 @@
 //! `gen:powerlaw,n=10000,m=6,closure=0.5,seed=42`,
 //! `gen:er,n=1000,p=0.05,seed=1`, or `gen:complete,n=32`.
 
-use flexminer::{apps, Backend, EngineConfig, Miner, Pattern, SimConfig};
+use flexminer::{
+    apps, Backend, Budget, EngineConfig, MineError, Miner, Pattern, RunStatus, SimConfig,
+};
 use fm_graph::{generators, io, CsrGraph, GraphStats};
 use fm_sim::EnergyModel;
 use std::collections::HashMap;
 use std::process::exit;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,9 +39,42 @@ fn main() {
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other}")),
     };
-    if let Err(msg) = result {
-        eprintln!("error: {msg}");
-        exit(1);
+    match result {
+        Ok(code) => exit(code),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            exit(1);
+        }
+    }
+}
+
+/// Exit code for a run's final status, so scripts can tell a truncated
+/// count from a total one: 0 complete, 3 deadline exceeded, 4 budget
+/// exhausted, 5 cancelled, 6 degraded (isolated task faults). Codes 1–2
+/// stay reserved for errors and usage; 7 is the simulator watchdog.
+fn exit_code(status: RunStatus) -> i32 {
+    match status {
+        RunStatus::Complete => 0,
+        RunStatus::DeadlineExceeded => 3,
+        RunStatus::BudgetExhausted => 4,
+        RunStatus::Cancelled => 5,
+        RunStatus::Degraded => 6,
+    }
+}
+
+/// Reports a partial run on stderr: results on stdout stay machine
+/// readable, the status and fault roster go to the human.
+fn report_status(outcome: &flexminer::MiningOutcome) {
+    if outcome.is_complete() {
+        return;
+    }
+    eprintln!(
+        "warning: run ended {:?}; counts cover {} completed start vertices",
+        outcome.status(),
+        outcome.completed_start_vertices().len()
+    );
+    for f in outcome.faults() {
+        eprintln!("fault: start vertex {}: {}", f.vid, f.payload);
     }
 }
 
@@ -53,8 +89,10 @@ commands:
   plan  <pattern>                           print the compiled execution plan (IR)
   count <pattern> --graph <input> [flags]   mine with the software engine
         [--induced] [--threads N] [--no-symmetry]
+        [--timeout SECS] [--budget SETOP_ITERS]
   sim   <pattern> --graph <input> [flags]   mine on the simulated accelerator
         [--pes N] [--cmap BYTES|unlimited|none] [--energy] [--induced]
+        [--watchdog CYCLES]
   motifs <k> --graph <input> [--threads N]  k-motif census (vertex-induced)
   generate <spec> --out <file>              write a synthetic graph as an edge list
   stats --graph <input>                     print graph statistics
@@ -62,12 +100,17 @@ commands:
 inputs:
   a path to an edge-list file, or gen:<kind>,k=v,...  with kinds
   powerlaw (n,m,closure,seed), pa (n,m,seed), er (n,p,seed),
-  complete (n), caveman (communities,size,bridges,seed)"
+  complete (n), caveman (communities,size,bridges,seed)
+
+exit codes:
+  0 complete   1 error   2 usage   3 deadline exceeded   4 budget
+  exhausted   5 cancelled   6 degraded (task faults)   7 watchdog tripped;
+  codes 3-6 still print exact counts for the completed start vertices"
     );
     exit(if msg.is_empty() { 0 } else { 2 });
 }
 
-type CliResult = Result<(), String>;
+type CliResult = Result<i32, String>;
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -135,7 +178,7 @@ fn cmd_plan(args: &[String]) -> CliResult {
     }
     let plan = job.plan().map_err(|e| e.to_string())?;
     print!("{plan}");
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_count(args: &[String], _induced_default: bool) -> CliResult {
@@ -152,13 +195,26 @@ fn cmd_count(args: &[String], _induced_default: bool) -> CliResult {
     if has_flag(args, "--no-symmetry") {
         job = job.symmetry(false);
     }
+    if let Some(v) = flag_value(args, "--budget") {
+        let iters: u64 = v.parse().map_err(|e| format!("bad --budget: {e}"))?;
+        job = job.budget(Budget::with_max_setop_iterations(iters));
+    }
+    let timeout = flag_value(args, "--timeout")
+        .map(|v| v.parse::<f64>().map_err(|e| format!("bad --timeout: {e}")))
+        .transpose()?;
     let start = std::time::Instant::now();
-    let outcome = job.run().map_err(|e| e.to_string())?;
+    let outcome = match timeout {
+        // Anchor the deadline at the run, after graph loading.
+        Some(secs) => job.run_with_deadline(Duration::from_secs_f64(secs)),
+        None => job.run(),
+    }
+    .map_err(|e| e.to_string())?;
     for pc in outcome.per_pattern() {
         println!("{}: {}", pc.name, pc.count);
     }
+    report_status(&outcome);
     eprintln!("[{} threads, {:.3?}]", threads, start.elapsed());
-    Ok(())
+    Ok(exit_code(outcome.status()))
 }
 
 fn cmd_sim(args: &[String]) -> CliResult {
@@ -175,11 +231,37 @@ fn cmd_sim(args: &[String]) -> CliResult {
             n => n.parse().map_err(|e| format!("bad --cmap: {e}"))?,
         };
     }
+    if let Some(v) = flag_value(args, "--watchdog") {
+        cfg.watchdog_cycles = v.parse().map_err(|e| format!("bad --watchdog: {e}"))?;
+    }
     let mut job = Miner::new(&g).pattern(pattern).backend(Backend::Accelerator(cfg));
     if has_flag(args, "--induced") {
         job = job.induced(true);
     }
-    let outcome = job.run().map_err(|e| e.to_string())?;
+    let outcome = match job.run() {
+        Ok(outcome) => outcome,
+        Err(MineError::WatchdogTripped(dump)) => {
+            eprintln!(
+                "error: watchdog tripped at {} cycles with {} PE(s) still working:",
+                dump.cap,
+                dump.stuck_pes().count()
+            );
+            for pe in &dump.pes {
+                eprintln!(
+                    "  PE {}: cycle {}, {} frame(s), top {}, embedding {:?}, {} task(s) claimed{}",
+                    pe.pe,
+                    pe.cycle,
+                    pe.stack_depth,
+                    pe.top_frame.as_deref().unwrap_or("<between tasks>"),
+                    pe.embedding,
+                    pe.tasks_claimed,
+                    if pe.done { " [done]" } else { "" }
+                );
+            }
+            return Ok(7);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     let report = outcome.sim_report().expect("accelerator backend always reports");
     for pc in outcome.per_pattern() {
         println!("{}: {}", pc.name, pc.count);
@@ -221,7 +303,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
             e.static_mj
         );
     }
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_motifs(args: &[String]) -> CliResult {
@@ -234,7 +316,7 @@ fn cmd_motifs(args: &[String]) -> CliResult {
     for (name, count) in census {
         println!("{name}: {count}");
     }
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_generate(args: &[String]) -> CliResult {
@@ -245,7 +327,7 @@ fn cmd_generate(args: &[String]) -> CliResult {
     let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     io::write_edge_list(&g, file).map_err(|e| e.to_string())?;
     eprintln!("wrote {} ({} vertices, {} edges)", out, g.num_vertices(), g.num_undirected_edges());
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {
@@ -253,5 +335,5 @@ fn cmd_stats(args: &[String]) -> CliResult {
     let s = GraphStats::of(&g);
     println!("{s}");
     println!("symmetric: {}", g.is_symmetric());
-    Ok(())
+    Ok(0)
 }

@@ -55,9 +55,9 @@ pub use fm_pattern as pattern;
 pub use fm_plan as plan;
 pub use fm_sim as sim;
 
-pub use fm_engine::EngineConfig;
+pub use fm_engine::{Budget, CancelToken, EngineConfig, Fault, RunStatus};
 pub use fm_graph::{CsrGraph, GraphBuilder, GraphError, VertexId};
 pub use fm_pattern::{motifs, Pattern, PatternError};
 pub use fm_plan::{CompileOptions, ExecutionPlan};
-pub use fm_sim::{SimConfig, SimReport};
+pub use fm_sim::{PeFsmState, SimConfig, SimReport, WatchdogDump};
 pub use miner::{Backend, MineError, Miner, MiningOutcome, PatternCount};

@@ -1,12 +1,26 @@
 //! The mining job builder.
 
-use fm_engine::{EngineConfig, MiningResult, WorkCounters};
+use fm_engine::{Budget, CancelToken, EngineConfig, Fault, MiningResult, RunStatus, WorkCounters};
 use fm_graph::CsrGraph;
 use fm_pattern::Pattern;
 use fm_plan::{compile_multi, CompileOptions, ExecutionPlan};
-use fm_sim::{simulate, SimConfig, SimReport};
+use fm_sim::{simulate, SimConfig, SimReport, WatchdogDump};
 use std::fmt;
 use std::time::Duration;
+
+/// Combines two budgets: each limit is the tighter of the pair.
+fn merge_budgets(a: Budget, b: Budget) -> Budget {
+    fn tighter<T: Ord>(x: Option<T>, y: Option<T>) -> Option<T> {
+        match (x, y) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+    Budget {
+        deadline: tighter(a.deadline, b.deadline),
+        max_setop_iterations: tighter(a.max_setop_iterations, b.max_setop_iterations),
+    }
+}
 
 /// Where a mining job executes.
 #[derive(Clone, PartialEq, Debug)]
@@ -45,6 +59,21 @@ pub enum MineError {
     /// Vertex-induced multi-pattern jobs need patterns of one size
     /// (k-motif counting); mixed sizes are ambiguous.
     MixedInducedSizes,
+    /// A deadline, budget, or cancel token was supplied for the
+    /// accelerator backend, whose only supported control is the watchdog
+    /// cycle cap ([`SimConfig::watchdog_cycles`]).
+    ControlUnsupported,
+    /// The accelerator watchdog tripped before the simulation drained;
+    /// per-PE FSM state is attached for diagnosis.
+    WatchdogTripped(Box<WatchdogDump>),
+    /// A partial run's raw counts cannot be normalized into unique counts:
+    /// with symmetry breaking disabled each embedding is found |Aut(P)|
+    /// times, and an early stop can cut through an automorphism class.
+    /// Retry with symmetry breaking on, or without a budget.
+    PartialUnnormalizable {
+        /// How the run actually stopped.
+        status: RunStatus,
+    },
 }
 
 impl fmt::Display for MineError {
@@ -53,6 +82,28 @@ impl fmt::Display for MineError {
             MineError::NoPatterns => write!(f, "mining job has no patterns"),
             MineError::MixedInducedSizes => {
                 write!(f, "vertex-induced jobs require patterns of a single size")
+            }
+            MineError::ControlUnsupported => {
+                write!(
+                    f,
+                    "the accelerator backend does not support deadlines, budgets, or \
+                     cancellation; use the watchdog cycle cap instead"
+                )
+            }
+            MineError::WatchdogTripped(dump) => {
+                write!(
+                    f,
+                    "accelerator watchdog tripped at {} cycles with {} PE(s) still working",
+                    dump.cap,
+                    dump.stuck_pes().count()
+                )
+            }
+            MineError::PartialUnnormalizable { status } => {
+                write!(
+                    f,
+                    "partial run ({status:?}) cannot be normalized by |Aut(P)| without \
+                     symmetry breaking"
+                )
             }
         }
     }
@@ -76,9 +127,34 @@ pub struct MiningOutcome {
     work: Option<WorkCounters>,
     sim: Option<SimReport>,
     elapsed: Duration,
+    status: RunStatus,
+    completed: Vec<u32>,
+    faults: Vec<Fault>,
 }
 
 impl MiningOutcome {
+    /// How the run ended. Anything but [`RunStatus::Complete`] means the
+    /// counts are exact over a subset of start vertices only.
+    pub fn status(&self) -> RunStatus {
+        self.status
+    }
+
+    /// Whether every start vertex was mined without faults.
+    pub fn is_complete(&self) -> bool {
+        self.status.is_complete()
+    }
+
+    /// Start vertices whose subtrees completed, ascending. Empty on a
+    /// fault-free complete run (meaning: all of them).
+    pub fn completed_start_vertices(&self) -> &[u32] {
+        &self.completed
+    }
+
+    /// Start vertices whose tasks panicked and were isolated (software
+    /// backend only; always empty when [`is_complete`](Self::is_complete)).
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
     /// Unique embedding counts, in pattern order.
     pub fn counts(&self) -> Vec<u64> {
         self.per_pattern.iter().map(|p| p.count).collect()
@@ -139,17 +215,21 @@ pub struct Miner<'g> {
     patterns: Vec<Pattern>,
     options: CompileOptions,
     backend: Backend,
+    budget: Budget,
+    cancel: Option<CancelToken>,
 }
 
 impl<'g> Miner<'g> {
     /// Starts a mining job on `graph` (software backend, one thread,
-    /// edge-induced, symmetry breaking on).
+    /// edge-induced, symmetry breaking on, unlimited budget).
     pub fn new(graph: &'g CsrGraph) -> Miner<'g> {
         Miner {
             graph,
             patterns: Vec::new(),
             options: CompileOptions::default(),
             backend: Backend::default(),
+            budget: Budget::unlimited(),
+            cancel: None,
         }
     }
 
@@ -200,6 +280,34 @@ impl<'g> Miner<'g> {
         self
     }
 
+    /// Applies a resource [`Budget`] (software backend only). Limits
+    /// combine with any already set — each takes the tighter value — so a
+    /// budget on the job and one on the `EngineConfig` both hold.
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = merge_budgets(self.budget, budget);
+        self
+    }
+
+    /// Shorthand: wall-clock deadline `timeout` from now. Note the
+    /// deadline starts ticking *here*, not at [`run`](Self::run); prefer
+    /// [`run_with_deadline`](Self::run_with_deadline) unless the build and
+    /// run happen together.
+    #[must_use]
+    pub fn timeout(self, timeout: Duration) -> Self {
+        self.budget(Budget::with_timeout(timeout))
+    }
+
+    /// Attaches a cancellation handle (software backend only). Keep a
+    /// clone of the token; calling [`CancelToken::cancel`] from any thread
+    /// stops the job at its next start-vertex boundary with exact partial
+    /// counts.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Compiles and returns the execution plan for inspection (the IR that
     /// would be loaded into the hardware; printable in Listing-1 style).
     ///
@@ -232,35 +340,80 @@ impl<'g> Miner<'g> {
 
     /// Runs the job.
     ///
+    /// A run stopped early by a deadline, budget, cancellation, or an
+    /// isolated task panic still returns `Ok`: the outcome's
+    /// [`status`](MiningOutcome::status) reports how it ended and the
+    /// counts are exact over
+    /// [`completed_start_vertices`](MiningOutcome::completed_start_vertices).
+    ///
     /// # Errors
     ///
-    /// Returns [`MineError::NoPatterns`] for an empty job and
-    /// [`MineError::MixedInducedSizes`] for invalid induced jobs.
+    /// Returns [`MineError::NoPatterns`] for an empty job,
+    /// [`MineError::MixedInducedSizes`] for invalid induced jobs,
+    /// [`MineError::ControlUnsupported`] when a budget or cancel token is
+    /// combined with the accelerator backend,
+    /// [`MineError::WatchdogTripped`] when the accelerator watchdog fires,
+    /// and [`MineError::PartialUnnormalizable`] when a partial
+    /// non-symmetry run cannot be normalized into unique counts.
     pub fn run(&self) -> Result<MiningOutcome, MineError> {
         let plan = self.plan()?;
         let start = std::time::Instant::now();
-        let (raw, work, sim): (Vec<u64>, Option<WorkCounters>, Option<SimReport>) = match &self
-            .backend
-        {
-            Backend::Software(cfg) => {
-                let result: MiningResult = fm_engine::mine(self.graph, &plan, cfg);
-                (result.unique_counts(&plan), Some(result.work), None)
-            }
-            Backend::Accelerator(cfg) => {
-                let report = simulate(self.graph, &plan, cfg);
-                let result =
-                    MiningResult { counts: report.counts.clone(), work: WorkCounters::default() };
-                (result.unique_counts(&plan), None, Some(report))
-            }
-        };
+        let (result, work, sim): (MiningResult, Option<WorkCounters>, Option<SimReport>) =
+            match &self.backend {
+                Backend::Software(cfg) => {
+                    let mut cfg = *cfg;
+                    cfg.budget = merge_budgets(cfg.budget, self.budget);
+                    let result =
+                        fm_engine::mine_with_cancel(self.graph, &plan, &cfg, self.cancel.as_ref());
+                    let work = result.work;
+                    (result, Some(work), None)
+                }
+                Backend::Accelerator(cfg) => {
+                    if self.budget.is_limited() || self.cancel.is_some() {
+                        return Err(MineError::ControlUnsupported);
+                    }
+                    let report = simulate(self.graph, &plan, cfg);
+                    if let Some(dump) = &report.watchdog {
+                        return Err(MineError::WatchdogTripped(Box::new(dump.clone())));
+                    }
+                    let result =
+                        MiningResult { counts: report.counts.clone(), ..Default::default() };
+                    (result, None, Some(report))
+                }
+            };
         let elapsed = start.elapsed();
+        let raw = result
+            .try_unique_counts(&plan)
+            .ok_or(MineError::PartialUnnormalizable { status: result.status })?;
         let per_pattern = plan
             .patterns
             .iter()
             .zip(raw)
             .map(|(meta, count)| PatternCount { name: meta.name.clone(), count })
             .collect();
-        Ok(MiningOutcome { per_pattern, work, sim, elapsed })
+        Ok(MiningOutcome {
+            per_pattern,
+            work,
+            sim,
+            elapsed,
+            status: result.status,
+            completed: result.completed,
+            faults: result.faults,
+        })
+    }
+
+    /// Runs the job with a wall-clock deadline of `timeout` from *now*.
+    ///
+    /// Equivalent to `self.clone().timeout(timeout).run()`, with the
+    /// deadline anchored at the call instead of at builder time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_deadline(&self, timeout: Duration) -> Result<MiningOutcome, MineError> {
+        let mut job = self.clone();
+        job.budget = merge_budgets(job.budget, Budget::with_timeout(timeout));
+        job.run()
     }
 }
 
@@ -329,5 +482,83 @@ mod tests {
         assert_eq!(outcome.count(), 10);
         assert_eq!(outcome.per_pattern()[0].name, "triangle");
         assert_eq!(outcome.counts(), vec![10]);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.status(), fm_engine::RunStatus::Complete);
+        assert!(outcome.faults().is_empty());
+        assert!(outcome.completed_start_vertices().is_empty());
+    }
+
+    #[test]
+    fn merged_budgets_take_the_tighter_limit() {
+        let a = Budget::with_max_setop_iterations(100);
+        let b = Budget::with_max_setop_iterations(7);
+        assert_eq!(merge_budgets(a, b).max_setop_iterations, Some(7));
+        assert_eq!(merge_budgets(b, Budget::unlimited()).max_setop_iterations, Some(7));
+        let t = Budget::with_timeout(Duration::from_secs(1));
+        let merged = merge_budgets(t, b);
+        assert_eq!(merged.deadline, t.deadline);
+        assert_eq!(merged.max_setop_iterations, Some(7));
+    }
+
+    #[test]
+    fn zero_deadline_reports_deadline_exceeded() {
+        let g = generators::powerlaw_cluster(200, 4, 0.5, 6);
+        let full = Miner::new(&g).pattern(Pattern::triangle()).run().unwrap();
+        for threads in [1, 4] {
+            let partial = Miner::new(&g)
+                .pattern(Pattern::triangle())
+                .threads(threads)
+                .run_with_deadline(Duration::ZERO)
+                .unwrap();
+            assert_eq!(partial.status(), fm_engine::RunStatus::DeadlineExceeded);
+            assert!(!partial.is_complete());
+            assert!(partial.count() <= full.count());
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_job() {
+        let g = generators::powerlaw_cluster(150, 4, 0.5, 4);
+        let token = fm_engine::CancelToken::new();
+        token.cancel();
+        let outcome =
+            Miner::new(&g).pattern(Pattern::triangle()).cancel_token(token).run().unwrap();
+        assert_eq!(outcome.status(), fm_engine::RunStatus::Cancelled);
+        assert_eq!(outcome.count(), 0);
+        assert!(outcome.completed_start_vertices().is_empty());
+    }
+
+    #[test]
+    fn accelerator_rejects_software_job_control() {
+        let g = generators::complete(4);
+        let job = Miner::new(&g)
+            .pattern(Pattern::triangle())
+            .backend(Backend::accelerator())
+            .timeout(Duration::from_secs(60));
+        assert_eq!(job.run().unwrap_err(), MineError::ControlUnsupported);
+        let token = fm_engine::CancelToken::new();
+        let job = Miner::new(&g)
+            .pattern(Pattern::triangle())
+            .backend(Backend::accelerator())
+            .cancel_token(token);
+        assert_eq!(job.run().unwrap_err(), MineError::ControlUnsupported);
+    }
+
+    #[test]
+    fn accelerator_watchdog_trip_is_a_structured_error() {
+        let g = generators::powerlaw_cluster(300, 5, 0.5, 17);
+        let cfg = fm_sim::SimConfig { watchdog_cycles: 1, num_pes: 1, ..Default::default() };
+        let err = Miner::new(&g)
+            .pattern(Pattern::k_clique(4))
+            .backend(Backend::Accelerator(cfg))
+            .run()
+            .unwrap_err();
+        match err {
+            MineError::WatchdogTripped(dump) => {
+                assert_eq!(dump.cap, 1);
+                assert!(dump.stuck_pes().count() > 0);
+            }
+            other => panic!("expected WatchdogTripped, got {other:?}"),
+        }
     }
 }

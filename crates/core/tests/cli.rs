@@ -1,0 +1,73 @@
+//! End-to-end tests of the `flexminer` binary's job-control surface:
+//! `--timeout`/`--budget` on `count`, `--watchdog` on `sim`, and the
+//! distinct exit codes scripts rely on.
+
+use std::process::{Command, Output};
+
+fn flexminer(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flexminer")).args(args).output().expect("binary should spawn")
+}
+
+const GRAPH: &str = "gen:powerlaw,n=400,m=5,closure=0.5,seed=3";
+
+#[test]
+fn complete_count_exits_zero_with_counts_on_stdout() {
+    let out = flexminer(&["count", "triangle", "--graph", GRAPH]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("triangle: "), "stdout: {stdout}");
+}
+
+#[test]
+fn zero_timeout_exits_with_deadline_code() {
+    let out = flexminer(&["count", "triangle", "--graph", GRAPH, "--timeout", "0"]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    // Counts are still printed (exact over the completed subset) and the
+    // truncation is flagged on stderr.
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("triangle: "));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("DeadlineExceeded"));
+}
+
+#[test]
+fn tiny_budget_exits_with_budget_code() {
+    let out = flexminer(&["count", "4-cycle", "--graph", GRAPH, "--budget", "50"]);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("BudgetExhausted"));
+}
+
+#[test]
+fn generous_budget_stays_complete() {
+    let out = flexminer(&["count", "triangle", "--graph", GRAPH, "--budget", "1000000000"]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn watchdog_trip_exits_seven_with_fsm_dump() {
+    let out = flexminer(&["sim", "4-clique", "--graph", GRAPH, "--pes", "1", "--watchdog", "1"]);
+    assert_eq!(out.status.code(), Some(7), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("watchdog tripped"), "stderr: {stderr}");
+    assert!(stderr.contains("PE 0:"), "stderr: {stderr}");
+}
+
+#[test]
+fn generous_watchdog_sim_exits_zero() {
+    let out = flexminer(&[
+        "sim",
+        "triangle",
+        "--graph",
+        "gen:er,n=60,p=0.1,seed=2",
+        "--pes",
+        "2",
+        "--watchdog",
+        "100000000",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn bad_flag_values_exit_one() {
+    let out = flexminer(&["count", "triangle", "--graph", GRAPH, "--timeout", "soon"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --timeout"));
+}

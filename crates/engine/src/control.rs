@@ -1,0 +1,230 @@
+//! Job control: cancellation, deadlines, and work budgets.
+//!
+//! Mining jobs on real inputs run for minutes to hours (§VII-D evaluates
+//! graphs with billions of edges), so a production service needs a way to
+//! stop a job without killing the process and to get *exact* partial
+//! results back. The control plane here is deliberately coarse: state is
+//! polled once per start-vertex task — the natural quantum of both the
+//! software driver and the hardware scheduler (Fig. 8) — so the hot
+//! per-candidate loops stay untouched.
+//!
+//! Three independent stop conditions are supported:
+//!
+//! * **Cancellation** — a [`CancelToken`] flipped from another thread;
+//! * **Deadline** — a wall-clock [`Instant`] in [`Budget::deadline`];
+//! * **Work budget** — a cap on cumulative set-operation iterations
+//!   ([`Budget::max_setop_iterations`]), the engine's hardware-agnostic
+//!   work unit (one SIU/SDU cycle per iteration). Unlike a wall-clock
+//!   deadline the budget is machine-independent, which makes it the knob
+//!   of choice for deterministic tests.
+//!
+//! Whichever fires first is reported as the run's
+//! [`RunStatus`](crate::result::RunStatus); the start vertices finished
+//! before the stop are recorded exactly, so a partial result is a complete
+//! result over a known subset of the search roots.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cheap, shareable cancellation handle.
+///
+/// Cloning shares the underlying flag; any clone can cancel the job and
+/// every worker observes it at its next start-vertex boundary. Polling is
+/// one relaxed atomic load.
+///
+/// # Examples
+///
+/// ```
+/// use fm_engine::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let handle = token.clone();
+/// assert!(!token.is_cancelled());
+/// handle.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Resource limits for one mining run.
+///
+/// The default budget is unlimited, so existing callers are unaffected.
+/// Budgets are part of [`EngineConfig`](crate::EngineConfig) and therefore
+/// `Copy`; the deadline is an absolute [`Instant`] so that re-checking it
+/// costs one clock read only when a deadline is actually set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Budget {
+    /// Wall-clock deadline. Polled at start-vertex granularity: the run
+    /// stops before the *next* task once the deadline has passed, so a
+    /// long-running subtree overshoots by at most one task.
+    pub deadline: Option<Instant>,
+    /// Cap on cumulative set-operation merge iterations across all
+    /// workers. Workers publish their consumption at task boundaries, so
+    /// the cap is enforced with the same one-task slack as the deadline.
+    pub max_setop_iterations: Option<u64>,
+}
+
+impl Budget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget whose deadline is `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Budget {
+        Budget { deadline: Instant::now().checked_add(timeout), ..Budget::default() }
+    }
+
+    /// A budget capped at `iters` set-operation iterations.
+    pub fn with_max_setop_iterations(iters: u64) -> Budget {
+        Budget { max_setop_iterations: Some(iters), ..Budget::default() }
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.max_setop_iterations.is_some()
+    }
+}
+
+/// Why a run stopped before draining every start vertex.
+///
+/// Ordered by severity so concurrent workers' observations merge with
+/// `max` (explicit cancellation wins over a deadline, which wins over an
+/// exhausted budget).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) enum StopKind {
+    BudgetExhausted,
+    DeadlineExceeded,
+    Cancelled,
+}
+
+impl From<StopKind> for crate::result::RunStatus {
+    fn from(kind: StopKind) -> Self {
+        match kind {
+            StopKind::BudgetExhausted => crate::result::RunStatus::BudgetExhausted,
+            StopKind::DeadlineExceeded => crate::result::RunStatus::DeadlineExceeded,
+            StopKind::Cancelled => crate::result::RunStatus::Cancelled,
+        }
+    }
+}
+
+/// Shared per-job stop state, polled by every worker at task boundaries.
+pub(crate) struct Monitor<'t> {
+    cancel: Option<&'t CancelToken>,
+    deadline: Option<Instant>,
+    max_iters: Option<u64>,
+    /// Set-op iterations published by all workers so far.
+    spent_iters: AtomicU64,
+}
+
+impl<'t> Monitor<'t> {
+    pub(crate) fn new(cancel: Option<&'t CancelToken>, budget: Budget) -> Monitor<'t> {
+        Monitor {
+            cancel,
+            deadline: budget.deadline,
+            max_iters: budget.max_setop_iterations,
+            spent_iters: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes `iters` newly consumed set-op iterations.
+    pub(crate) fn spend(&self, iters: u64) {
+        if self.max_iters.is_some() && iters > 0 {
+            self.spent_iters.fetch_add(iters, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns the stop condition in effect, if any. The deadline clock is
+    /// read only when a deadline is set.
+    pub(crate) fn should_stop(&self) -> Option<StopKind> {
+        if self.cancel.is_some_and(CancelToken::is_cancelled) {
+            return Some(StopKind::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(StopKind::DeadlineExceeded);
+        }
+        if self.max_iters.is_some_and(|m| self.spent_iters.load(Ordering::Relaxed) >= m) {
+            return Some(StopKind::BudgetExhausted);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(!Budget::default().is_limited());
+        assert!(Budget::with_timeout(Duration::from_secs(1)).is_limited());
+        assert!(Budget::with_max_setop_iterations(10).is_limited());
+    }
+
+    #[test]
+    fn monitor_fires_in_severity_order() {
+        let token = CancelToken::new();
+        let budget = Budget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            max_setop_iterations: Some(0),
+        };
+        let m = Monitor::new(Some(&token), budget);
+        // Deadline outranks budget; cancellation outranks both.
+        assert_eq!(m.should_stop(), Some(StopKind::DeadlineExceeded));
+        token.cancel();
+        assert_eq!(m.should_stop(), Some(StopKind::Cancelled));
+    }
+
+    #[test]
+    fn monitor_budget_accounting() {
+        let m = Monitor::new(None, Budget::with_max_setop_iterations(10));
+        assert_eq!(m.should_stop(), None);
+        m.spend(9);
+        assert_eq!(m.should_stop(), None);
+        m.spend(1);
+        assert_eq!(m.should_stop(), Some(StopKind::BudgetExhausted));
+    }
+
+    #[test]
+    fn unlimited_monitor_never_stops() {
+        let m = Monitor::new(None, Budget::unlimited());
+        m.spend(u64::MAX / 2);
+        assert_eq!(m.should_stop(), None);
+    }
+
+    #[test]
+    fn stop_kind_severity_ordering() {
+        assert!(StopKind::Cancelled > StopKind::DeadlineExceeded);
+        assert!(StopKind::DeadlineExceeded > StopKind::BudgetExhausted);
+    }
+}

@@ -8,13 +8,15 @@
 //! cross-checked for identical counts in the integration tests.
 
 use crate::cmap::{ConnectivityMap, HashCmap};
-use crate::result::{MiningResult, WorkCounters};
+use crate::fail_point;
+use crate::result::{Fault, MiningResult, RunStatus, WorkCounters};
 use crate::setops;
 use crate::EngineConfig;
 use fm_graph::{orient_by_degree, CsrGraph, VertexId};
 use fm_plan::lowering::{lower, LowerOptions, Program};
 use fm_plan::{ExecutionPlan, FrontierHint};
 use std::borrow::Cow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Applies the plan's preprocessing directive to the data graph: k-clique
 /// plans run on the degree-oriented DAG (§V-C), everything else on the
@@ -73,6 +75,12 @@ struct State {
     counts: Vec<u64>,
     work: WorkCounters,
     matches: Option<Vec<(usize, Vec<VertexId>)>>,
+    /// Start vertices completed via the isolated path (see
+    /// [`Executor::run_vertex_isolated`]); untracked fast-path runs leave
+    /// this empty.
+    completed: Vec<u32>,
+    /// Start vertices whose tasks panicked and were rolled back.
+    faults: Vec<Fault>,
 }
 
 impl State {
@@ -88,7 +96,20 @@ impl State {
             counts: vec![0; patterns],
             work: WorkCounters::default(),
             matches: None,
+            completed: Vec::new(),
+            faults: Vec::new(),
         }
+    }
+}
+
+/// Renders a panic payload for [`Fault::payload`].
+pub(crate) fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -132,12 +153,55 @@ impl<'g> Executor<'g> {
     ///
     /// Panics if `v` is out of range for the graph.
     pub fn run_vertex(&mut self, v: VertexId) {
+        fail_point!("start_vertex", v.0 as u64);
         enter(self.graph, &self.cfg, &self.program, &mut self.state, 0, v);
         debug_assert!(self.state.emb.is_empty());
         debug_assert!(
             !self.cfg.use_cmap || self.state.cmap.is_empty(),
             "c-map must be self-cleaning across tasks"
         );
+    }
+
+    /// Runs the subtree of `v` inside a panic boundary, recording the
+    /// outcome instead of unwinding further.
+    ///
+    /// On success `v` joins the result's `completed` list. If the task
+    /// panics, *all* of its effects are rolled back — counts and work
+    /// counters are restored to their pre-task snapshot and the embedding
+    /// stack, c-map, and insertion logs are reset — so a poisoned start
+    /// vertex contributes exactly nothing; the panic payload is recorded
+    /// as a [`Fault`]. This is the FlexMiner analogue of the c-map's own
+    /// graceful-degradation precedent (overflow falls back to SIU/SDU,
+    /// §IV-C): one bad task degrades the run, never the job.
+    ///
+    /// Returns whether the task completed without panicking.
+    pub fn run_vertex_isolated(&mut self, v: VertexId) -> bool {
+        let counts_snapshot = self.state.counts.clone();
+        let work_snapshot = self.state.work;
+        let matches_snapshot = self.state.matches.as_ref().map(Vec::len);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.run_vertex(v)));
+        match outcome {
+            Ok(()) => {
+                self.state.completed.push(v.0);
+                true
+            }
+            Err(payload) => {
+                self.state.counts = counts_snapshot;
+                self.state.work = work_snapshot;
+                if let (Some(matches), Some(len)) = (&mut self.state.matches, matches_snapshot) {
+                    matches.truncate(len);
+                }
+                // The DFS state is mid-subtree garbage: reset everything
+                // the next task reads before writing.
+                self.state.emb.clear();
+                self.state.cmap.clear();
+                for ins in &mut self.state.inserted {
+                    ins.clear();
+                }
+                self.state.faults.push(Fault { vid: v.0, payload: payload_string(&*payload) });
+                false
+            }
+        }
     }
 
     /// Runs start vertices `lo..hi`.
@@ -147,9 +211,25 @@ impl<'g> Executor<'g> {
         }
     }
 
-    /// Consumes the executor and returns counts and work counters.
+    /// Set-operation iterations consumed so far (budget accounting).
+    pub fn setop_iterations_so_far(&self) -> u64 {
+        self.state.work.setop_iterations
+    }
+
+    /// Consumes the executor and returns counts and work counters. The
+    /// status is [`RunStatus::Degraded`] if any isolated task faulted,
+    /// [`RunStatus::Complete`] otherwise; drivers that stopped early
+    /// override it with the stop reason.
     pub fn finish(self) -> MiningResult {
-        MiningResult { counts: self.state.counts, work: self.state.work }
+        let status =
+            if self.state.faults.is_empty() { RunStatus::Complete } else { RunStatus::Degraded };
+        MiningResult {
+            counts: self.state.counts,
+            work: self.state.work,
+            status,
+            completed: self.state.completed,
+            faults: self.state.faults,
+        }
     }
 
     /// The matches recorded since [`collect_matches`](Self::collect_matches).
@@ -181,6 +261,7 @@ fn enter(
     }
     let mut did_insert = false;
     if cfg.use_cmap && node.cmap_insert && !node.children.is_empty() {
+        fail_point!("cmap_insert", state.emb[0].0 as u64);
         did_insert = true;
         let bound = node.cmap_insert_bound.map(|l| state.emb[l]);
         state.inserted[d].clear();
@@ -274,6 +355,9 @@ fn build_core(
     let node = &prog.nodes[node_idx];
     let d = node.depth;
     let has_constraints = !(node.connected.is_empty() && node.disconnected.is_empty());
+    if node.frontier != FrontierHint::Reuse {
+        fail_point!("frontier_alloc", state.emb[0].0 as u64);
+    }
     match node.frontier {
         FrontierHint::Reuse => {
             state.core_at[d] = state.core_at[d - 1];
@@ -285,6 +369,7 @@ fn build_core(
         // strategy only where the probed levels' insertions amortize.
         _ if cfg.use_cmap && node.probe => {
             let ext = node.extender.expect("constrained ops always have an extender");
+            fail_point!("csr_read", state.emb[0].0 as u64);
             let src = g.neighbors(state.emb[ext]);
             let mut out = std::mem::take(&mut state.frontiers[d]);
             out.clear();
@@ -322,6 +407,7 @@ fn build_core(
             // is pushed into the merge when the lowering proved the
             // truncation invisible, and intersections may dispatch to
             // galloping.
+            fail_point!("csr_read", state.emb[0].0 as u64);
             let adj = g.neighbors(state.emb[d - 1]);
             let merge_bound = if cfg.paper_faithful || !node.bounded_build { None } else { bound };
             if cfg.paper_faithful {
@@ -361,6 +447,7 @@ fn build_core(
         }
         FrontierHint::None => {
             let ext = node.extender.expect("non-root ops always have an extender");
+            fail_point!("csr_read", state.emb[0].0 as u64);
             let src = g.neighbors(state.emb[ext]);
             let mut out = std::mem::take(&mut state.frontiers[d]);
             out.clear();

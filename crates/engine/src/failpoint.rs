@@ -1,0 +1,170 @@
+//! Deterministic fault injection for the mining stack.
+//!
+//! Compiled only under `cfg(any(test, feature = "failpoints"))`, this is a
+//! tiny registry of named sites in the executor hot path at which a test
+//! can make the engine panic. Every degradation path of the job-control
+//! layer (panic isolation, `RunStatus::Degraded`, exact partial counts) is
+//! exercised through these sites instead of being trusted on faith.
+//!
+//! Sites currently instrumented (all carry the current *start vertex* as
+//! their context, so a test can poison one specific search root):
+//!
+//! | site             | fires in                                           |
+//! |------------------|----------------------------------------------------|
+//! | `start_vertex`   | [`Executor::run_vertex`] entry                     |
+//! | `frontier_alloc` | candidate-core materialization in `build_core`     |
+//! | `cmap_insert`    | bulk c-map insertion on embedding push             |
+//! | `csr_read`       | adjacency (CSR) reads feeding the merge pipeline   |
+//!
+//! (IO-level fault injection for graph loading lives next to the reader,
+//! in `fm_graph::io`, behind the same feature name.)
+//!
+//! The registry is process-global; tests that arm sites must not assume
+//! exclusive ownership across threads of *other* tests, so each test
+//! should use [`guard`] (which disarms its site on drop) and target a
+//! site/context pair unique to its own run.
+//!
+//! [`Executor::run_vertex`]: crate::executor::Executor::run_vertex
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// When an armed site actually fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Trigger {
+    /// Every hit.
+    Always,
+    /// Only hits whose context (the current start vertex id) equals this
+    /// value — the deterministic "poison exactly vertex v" knob.
+    OnContext(u64),
+    /// The nth hit of the site (1-based), regardless of context.
+    OnNthHit(u64),
+}
+
+struct Armed {
+    trigger: Trigger,
+    message: String,
+    hits: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<&'static str, Armed>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, Armed>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fast-path gate: `hit` is a single relaxed load while nothing is armed,
+/// so instrumented builds pay nothing measurable when idle.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Arms `site` to panic with `message` when `trigger` matches.
+///
+/// Re-arming a site replaces its previous configuration and resets its
+/// hit counter.
+pub fn arm(site: &'static str, trigger: Trigger, message: &str) {
+    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    reg.insert(site, Armed { trigger, message: message.to_string(), hits: 0 });
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms `site` (no-op if not armed).
+pub fn disarm(site: &'static str) {
+    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    reg.remove(site);
+    if reg.is_empty() {
+        ANY_ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Arms `site` and returns a guard that disarms it when dropped, keeping
+/// tests hermetic even on failure paths.
+#[must_use]
+pub fn guard(site: &'static str, trigger: Trigger, message: &str) -> FailpointGuard {
+    arm(site, trigger, message);
+    FailpointGuard { site }
+}
+
+/// Disarms its site on drop. Created by [`guard`].
+pub struct FailpointGuard {
+    site: &'static str,
+}
+
+impl Drop for FailpointGuard {
+    fn drop(&mut self) {
+        disarm(self.site);
+    }
+}
+
+/// Reports a hit of `site` with context `ctx` (the current start vertex),
+/// panicking if the site is armed and its trigger matches.
+///
+/// # Panics
+///
+/// Panics with the armed message — that is the point.
+#[inline]
+pub fn hit(site: &'static str, ctx: u64) {
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return;
+    }
+    hit_slow(site, ctx);
+}
+
+#[cold]
+fn hit_slow(site: &'static str, ctx: u64) {
+    let message = {
+        let mut reg = registry().lock().expect("failpoint registry poisoned");
+        let Some(armed) = reg.get_mut(site) else { return };
+        armed.hits += 1;
+        let fires = match armed.trigger {
+            Trigger::Always => true,
+            Trigger::OnContext(want) => ctx == want,
+            Trigger::OnNthHit(n) => armed.hits == n,
+        };
+        if !fires {
+            return;
+        }
+        armed.message.clone()
+        // The lock is released before panicking so the registry is never
+        // poisoned by an injected fault.
+    };
+    panic!("failpoint {site} (ctx {ctx}): {message}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        hit("unit-silent", 0);
+    }
+
+    #[test]
+    fn always_trigger_fires_and_guard_disarms() {
+        {
+            let _g = guard("unit-always", Trigger::Always, "boom");
+            let err = catch_unwind(AssertUnwindSafe(|| hit("unit-always", 7))).unwrap_err();
+            let msg = err.downcast_ref::<String>().expect("string payload");
+            assert!(msg.contains("unit-always") && msg.contains("boom"), "{msg}");
+        }
+        hit("unit-always", 7); // disarmed by guard drop
+    }
+
+    #[test]
+    fn context_trigger_is_selective() {
+        let _g = guard("unit-ctx", Trigger::OnContext(3), "ctx");
+        hit("unit-ctx", 2);
+        assert!(catch_unwind(AssertUnwindSafe(|| hit("unit-ctx", 3))).is_err());
+    }
+
+    #[test]
+    fn nth_hit_trigger_counts() {
+        let _g = guard("unit-nth", Trigger::OnNthHit(3), "nth");
+        hit("unit-nth", 0);
+        hit("unit-nth", 0);
+        assert!(catch_unwind(AssertUnwindSafe(|| hit("unit-nth", 0))).is_err());
+        // Counter keeps advancing past n; only the exact nth hit fires.
+        hit("unit-nth", 0);
+    }
+}

@@ -42,15 +42,30 @@
 //! ```
 
 pub mod cmap;
+pub mod control;
 pub mod executor;
+#[cfg(any(test, feature = "failpoints"))]
+pub mod failpoint;
 pub mod oblivious;
 pub mod parallel;
 pub mod result;
 pub mod setops;
 
+/// Reports a named failpoint hit in instrumented builds (`cfg(test)` or
+/// the `failpoints` feature); expands to nothing otherwise, so release
+/// hot paths carry no trace of the harness.
+macro_rules! fail_point {
+    ($site:expr, $ctx:expr) => {
+        #[cfg(any(test, feature = "failpoints"))]
+        crate::failpoint::hit($site, $ctx);
+    };
+}
+pub(crate) use fail_point;
+
+pub use control::{Budget, CancelToken};
 pub use executor::{mine_single_threaded, Executor};
-pub use parallel::{mine, mine_prepared};
-pub use result::{MiningResult, WorkCounters};
+pub use parallel::{mine, mine_prepared, mine_prepared_with_cancel, mine_with_cancel};
+pub use result::{Fault, MiningResult, RunStatus, WorkCounters};
 
 /// Configuration of the software mining engines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -87,6 +102,11 @@ pub struct EngineConfig {
     /// of the schedule. Counts and aggregate work are order-independent;
     /// only effective with `threads > 1`.
     pub degree_sched: bool,
+    /// Wall-clock deadline and set-op iteration cap for the run, polled at
+    /// start-vertex granularity. Unlimited by default; see
+    /// [`Budget`] and [`MiningResult::status`](result::MiningResult::status)
+    /// for the partial-result semantics when a limit fires.
+    pub budget: Budget,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +121,7 @@ impl Default for EngineConfig {
             paper_faithful: false,
             gallop_ratio: 16,
             degree_sched: true,
+            budget: Budget::unlimited(),
         }
     }
 }

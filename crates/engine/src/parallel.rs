@@ -6,9 +6,18 @@
 //! vertices to idle PEs, this driver hands chunks of start vertices to
 //! worker threads through an atomic cursor — dynamic load balancing with no
 //! synchronization on shared data (the graph is read-only).
+//!
+//! Robustness model: each start-vertex task runs inside its own panic
+//! boundary ([`Executor::run_vertex_isolated`]) and every worker polls the
+//! job's [`Monitor`] (cancellation, deadline, budget) once per task.
+//! Whatever happens — a poisoned task, a deadline, an explicit cancel —
+//! workers drain cleanly through the scoped join, and the merged
+//! [`MiningResult`] reports exact counts for the start vertices actually
+//! finished, tagged with the appropriate [`RunStatus`].
 
-use crate::executor::{prepare_graph, Executor};
-use crate::result::MiningResult;
+use crate::control::{CancelToken, Monitor, StopKind};
+use crate::executor::{payload_string, prepare_graph, Executor};
+use crate::result::{Fault, MiningResult, RunStatus};
 use crate::EngineConfig;
 use fm_graph::{CsrGraph, VertexId};
 use fm_plan::ExecutionPlan;
@@ -33,8 +42,22 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// assert_eq!(result.counts, vec![252]); // C(10,5)
 /// ```
 pub fn mine(graph: &CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> MiningResult {
+    mine_with_cancel(graph, plan, cfg, None)
+}
+
+/// Like [`mine`], with an optional [`CancelToken`] observed at
+/// start-vertex granularity: any clone of the token stops the job at the
+/// next task boundary and the result reports
+/// [`RunStatus::Cancelled`](crate::RunStatus::Cancelled) with exact counts
+/// for the start vertices already finished.
+pub fn mine_with_cancel(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+    cancel: Option<&CancelToken>,
+) -> MiningResult {
     let prepared = prepare_graph(graph, plan);
-    mine_prepared(&prepared, plan, cfg)
+    mine_prepared_with_cancel(&prepared, plan, cfg, cancel)
 }
 
 /// Like [`mine`], but over a graph already prepared with
@@ -44,11 +67,23 @@ pub fn mine(graph: &CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> Minin
 /// execution time, and once converted, the graph can be used for any
 /// k-CL").
 pub fn mine_prepared(g: &CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> MiningResult {
+    mine_prepared_with_cancel(g, plan, cfg, None)
+}
+
+/// The full-control driver: prepared graph, engine budget from `cfg`, and
+/// an optional cancellation token. All other entry points funnel here.
+pub fn mine_prepared_with_cancel(
+    g: &CsrGraph,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+    cancel: Option<&CancelToken>,
+) -> MiningResult {
     let n = g.num_vertices() as u32;
+    let monitor = Monitor::new(cancel, cfg.budget);
     if cfg.threads <= 1 {
         let mut ex = Executor::new(g, plan, cfg);
-        ex.run_range(0, n);
-        return ex.finish();
+        let stop = drive(&mut ex, &monitor, (0..n).map(VertexId));
+        return finalize(finish_worker(ex, stop));
     }
     // Degree-descending start-vertex order: the hub subtrees dominate the
     // critical path on power-law inputs, so scheduling them first keeps
@@ -69,38 +104,92 @@ pub fn mine_prepared(g: &CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> 
             .map(|_| {
                 let cursor = &cursor;
                 let order = order.as_deref();
+                let monitor = &monitor;
                 scope.spawn(move || {
                     let mut ex = Executor::new(g, plan, cfg);
-                    loop {
+                    let mut stop = None;
+                    while stop.is_none() {
                         let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if lo >= n as usize {
                             break;
                         }
                         let hi = (lo + chunk).min(n as usize);
-                        match order {
-                            Some(order) => {
-                                for &v in &order[lo..hi] {
-                                    ex.run_vertex(VertexId(v));
-                                }
-                            }
-                            None => ex.run_range(lo as u32, hi as u32),
-                        }
+                        let vids = (lo..hi).map(|i| match order {
+                            Some(order) => VertexId(order[i]),
+                            None => VertexId(i as u32),
+                        });
+                        stop = drive(&mut ex, monitor, vids);
                     }
-                    ex.finish()
+                    finish_worker(ex, stop)
                 })
             })
             .collect();
         let mut total = MiningResult::empty(plan.patterns.len());
         for h in handles {
-            total.merge(&h.join().expect("worker thread panicked"));
+            match h.join() {
+                Ok(r) => total.merge(&r),
+                // Per-task panics are already isolated inside the worker;
+                // a panic escaping the worker loop itself (e.g. from an
+                // instrumented scheduling path) degrades the job instead
+                // of aborting it. No start vertex is attributable, so the
+                // fault is recorded against the sentinel vid u32::MAX.
+                Err(payload) => {
+                    total.status = total.status.max(RunStatus::Degraded);
+                    total.faults.push(Fault { vid: u32::MAX, payload: payload_string(&*payload) });
+                }
+            }
         }
-        total
+        finalize(total)
     })
+}
+
+/// Runs `vids` through `ex` with per-task isolation and control polling.
+/// Returns the stop condition that ended the batch early, if any.
+fn drive(
+    ex: &mut Executor<'_>,
+    monitor: &Monitor<'_>,
+    vids: impl Iterator<Item = VertexId>,
+) -> Option<StopKind> {
+    let mut published = ex.setop_iterations_so_far();
+    for v in vids {
+        if let Some(kind) = monitor.should_stop() {
+            return Some(kind);
+        }
+        ex.run_vertex_isolated(v);
+        let spent = ex.setop_iterations_so_far();
+        monitor.spend(spent - published);
+        published = spent;
+    }
+    None
+}
+
+/// Converts one worker's executor into its partial result, applying the
+/// stop reason (if any) over the fault-derived status.
+fn finish_worker(ex: Executor<'_>, stop: Option<StopKind>) -> MiningResult {
+    let mut result = ex.finish();
+    if let Some(kind) = stop {
+        result.status = result.status.max(kind.into());
+    }
+    result
+}
+
+/// Canonicalizes a merged result: a fault-free complete run drops the
+/// (redundant, possibly large) completed list; partial runs sort it so the
+/// report is deterministic regardless of worker interleaving.
+fn finalize(mut total: MiningResult) -> MiningResult {
+    if total.status == RunStatus::Complete {
+        total.completed = Vec::new();
+    } else {
+        total.completed.sort_unstable();
+        total.faults.sort_unstable_by_key(|a| a.vid);
+    }
+    total
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::control::Budget;
     use crate::executor::mine_single_threaded;
     use fm_graph::generators;
     use fm_pattern::Pattern;
@@ -164,5 +253,95 @@ mod tests {
         let plan = compile(&Pattern::triangle(), CompileOptions::default());
         let par = mine(&g, &plan, &EngineConfig::with_threads(16));
         assert_eq!(par.counts, vec![4]);
+    }
+
+    #[test]
+    fn complete_runs_are_tagged_complete_with_empty_completed_list() {
+        let g = generators::erdos_renyi(50, 0.2, 1);
+        let plan = compile(&Pattern::triangle(), CompileOptions::default());
+        for threads in [1, 4] {
+            let r = mine(&g, &plan, &EngineConfig::with_threads(threads));
+            assert_eq!(r.status, RunStatus::Complete);
+            assert!(r.completed.is_empty());
+            assert!(r.faults.is_empty());
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_work() {
+        let g = generators::erdos_renyi(80, 0.2, 3);
+        let plan = compile(&Pattern::triangle(), CompileOptions::default());
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let r = mine_with_cancel(&g, &plan, &EngineConfig::with_threads(threads), Some(&token));
+            assert_eq!(r.status, RunStatus::Cancelled);
+            assert_eq!(r.counts, vec![0]);
+            assert!(r.completed.is_empty());
+            assert_eq!(r.work.extensions, 0);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_yields_deadline_exceeded_and_no_wrong_total() {
+        let g = generators::powerlaw_cluster(120, 4, 0.5, 5);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        for threads in [1, 4, 7] {
+            let cfg = EngineConfig {
+                threads,
+                budget: Budget::with_timeout(std::time::Duration::ZERO),
+                ..Default::default()
+            };
+            let r = mine(&g, &plan, &cfg);
+            assert_eq!(r.status, RunStatus::DeadlineExceeded, "{threads} threads");
+            // A zero deadline fires before the first task on every worker.
+            assert_eq!(r.counts, vec![0]);
+            assert!(r.completed.is_empty());
+        }
+    }
+
+    #[test]
+    fn budget_yields_exact_partial_counts_over_completed_vids() {
+        let g = generators::powerlaw_cluster(150, 4, 0.5, 17);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let full = mine(&g, &plan, &EngineConfig::default());
+        for threads in [1, 4] {
+            let cfg = EngineConfig {
+                threads,
+                budget: Budget::with_max_setop_iterations(full.work.setop_iterations / 3),
+                ..Default::default()
+            };
+            let r = mine(&g, &plan, &cfg);
+            assert_eq!(r.status, RunStatus::BudgetExhausted, "{threads} threads");
+            assert!(r.completed.len() < g.num_vertices());
+            // Exactness: a sequential run restricted to the reported
+            // completed set reproduces the partial counts bit-for-bit.
+            let prepared = prepare_graph(&g, &plan);
+            let mut ex = Executor::new(&prepared, &plan, &EngineConfig::default());
+            for &v in &r.completed {
+                ex.run_vertex(VertexId(v));
+            }
+            assert_eq!(r.counts, ex.finish().counts, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cancel_mid_run_drains_cleanly() {
+        // A token cancelled by a worker-side failpoint-free mechanism: the
+        // test cancels from the outside after the first completions by
+        // budget-free polling; stopping is best-effort but the invariant
+        // (counts == completed set's counts) must hold at any cut point.
+        let g = generators::powerlaw_cluster(200, 4, 0.5, 29);
+        let plan = compile(&Pattern::triangle(), CompileOptions::default());
+        let token = CancelToken::new();
+        token.cancel();
+        let r = mine_with_cancel(&g, &plan, &EngineConfig::with_threads(4), Some(&token));
+        assert_eq!(r.status, RunStatus::Cancelled);
+        let prepared = prepare_graph(&g, &plan);
+        let mut ex = Executor::new(&prepared, &plan, &EngineConfig::default());
+        for &v in &r.completed {
+            ex.run_vertex(VertexId(v));
+        }
+        assert_eq!(r.counts, ex.finish().counts);
     }
 }

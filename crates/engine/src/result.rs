@@ -45,23 +45,86 @@ impl AddAssign for WorkCounters {
     }
 }
 
+/// How a mining run ended.
+///
+/// Variants are ordered by severity; the parallel driver combines the
+/// statuses of concurrent workers with `max`, so an explicit cancellation
+/// is never downgraded to a deadline report and a stop reason is never
+/// masked by a mere degradation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum RunStatus {
+    /// Every start vertex was mined; counts are total.
+    #[default]
+    Complete,
+    /// One or more start-vertex tasks panicked and were isolated; counts
+    /// are exact over the surviving start vertices and the poisoned roots
+    /// are listed in [`MiningResult::faults`].
+    Degraded,
+    /// The set-operation budget ran out before the job drained.
+    BudgetExhausted,
+    /// The wall-clock deadline passed before the job drained.
+    DeadlineExceeded,
+    /// The job's [`CancelToken`](crate::CancelToken) was cancelled.
+    Cancelled,
+}
+
+impl RunStatus {
+    /// Whether the run mined every start vertex without faults.
+    pub fn is_complete(&self) -> bool {
+        *self == RunStatus::Complete
+    }
+
+    /// Whether counts cover only a subset of start vertices (any early
+    /// stop or degradation).
+    pub fn is_partial(&self) -> bool {
+        !self.is_complete()
+    }
+}
+
+/// One isolated start-vertex failure: the search root whose task panicked
+/// and the panic payload (stringified).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// Start vertex whose subtree was abandoned.
+    pub vid: u32,
+    /// The panic message, or a placeholder for non-string payloads.
+    pub payload: String,
+}
+
 /// The outcome of a mining run: one raw match count per plan pattern, plus
-/// work counters.
+/// work counters, plus the job-control verdict.
+///
+/// For partial runs ([`RunStatus::is_partial`]) the counts are *exact over
+/// the completed start vertices*: re-running only [`completed`] roots
+/// sequentially reproduces `counts` bit-for-bit. On a fully
+/// [`Complete`](RunStatus::Complete) run `completed` is left empty (it
+/// would be every vertex) to keep the common case allocation-free.
+///
+/// [`completed`]: MiningResult::completed
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct MiningResult {
     /// Raw matches found per pattern (in plan pattern order).
     pub counts: Vec<u64>,
     /// Aggregated work counters.
     pub work: WorkCounters,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Start vertices whose subtrees completed, ascending. Empty on a
+    /// fault-free complete run (meaning: all of them).
+    pub completed: Vec<u32>,
+    /// Start vertices whose tasks panicked and were isolated.
+    pub faults: Vec<Fault>,
 }
 
 impl MiningResult {
     /// Creates an empty result sized for `patterns` patterns.
     pub fn empty(patterns: usize) -> Self {
-        MiningResult { counts: vec![0; patterns], work: WorkCounters::default() }
+        MiningResult { counts: vec![0; patterns], ..MiningResult::default() }
     }
 
     /// Merges another result into this one (used by the parallel driver).
+    /// Counts and work add; statuses combine by severity; completed and
+    /// fault lists concatenate (the driver sorts them once at the end).
     pub fn merge(&mut self, other: &MiningResult) {
         if self.counts.len() < other.counts.len() {
             self.counts.resize(other.counts.len(), 0);
@@ -70,6 +133,9 @@ impl MiningResult {
             *c += o;
         }
         self.work += other.work;
+        self.status = self.status.max(other.status);
+        self.completed.extend_from_slice(&other.completed);
+        self.faults.extend_from_slice(&other.faults);
     }
 
     /// Unique embedding counts: raw counts divided by |Aut(P)| when the
@@ -77,19 +143,30 @@ impl MiningResult {
     ///
     /// # Panics
     ///
-    /// Panics if a raw count is not divisible by the automorphism count —
-    /// that would indicate an engine bug (and is asserted in tests).
+    /// Panics if a raw count is not divisible by the automorphism count.
+    /// On a complete run that would indicate an engine bug (and is
+    /// asserted in tests); on a partial AutoMine-mode run non-divisible
+    /// counts are *expected* (an embedding's |Aut| copies are split across
+    /// start vertices) — use [`try_unique_counts`](Self::try_unique_counts)
+    /// when the run may be partial.
     pub fn unique_counts(&self, plan: &ExecutionPlan) -> Vec<u64> {
+        self.try_unique_counts(plan).expect("raw count must be a multiple of |Aut|")
+    }
+
+    /// Like [`unique_counts`](Self::unique_counts), returning `None`
+    /// instead of panicking when a raw count does not divide |Aut(P)| —
+    /// the signature partial results have under non-symmetry plans, where
+    /// per-start-vertex truncation cuts through automorphism classes.
+    pub fn try_unique_counts(&self, plan: &ExecutionPlan) -> Option<Vec<u64>> {
         self.counts
             .iter()
             .zip(&plan.patterns)
             .map(|(&c, meta)| {
                 if plan.symmetry {
-                    c
+                    Some(c)
                 } else {
                     let auts = meta.automorphisms as u64;
-                    assert_eq!(c % auts, 0, "raw count must be a multiple of |Aut| = {auts}");
-                    c / auts
+                    (c % auts == 0).then(|| c / auts)
                 }
             })
             .collect()
@@ -110,16 +187,45 @@ mod tests {
         let mut a = MiningResult {
             counts: vec![1, 2],
             work: WorkCounters { comparisons: 5, ..Default::default() },
+            ..Default::default()
         };
         let b = MiningResult {
             counts: vec![10, 20],
             work: WorkCounters { comparisons: 7, setop_iterations: 3, ..Default::default() },
+            ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.counts, vec![11, 22]);
         assert_eq!(a.work.comparisons, 12);
         assert_eq!(a.work.setop_iterations, 3);
         assert_eq!(a.total(), 33);
+        assert!(a.status.is_complete());
+    }
+
+    #[test]
+    fn merge_combines_status_by_severity() {
+        let mut a = MiningResult { status: RunStatus::Degraded, ..MiningResult::empty(1) };
+        let b = MiningResult { status: RunStatus::DeadlineExceeded, ..MiningResult::empty(1) };
+        a.merge(&b);
+        assert_eq!(a.status, RunStatus::DeadlineExceeded);
+        // A lower-severity merge does not downgrade.
+        a.merge(&MiningResult::empty(1));
+        assert_eq!(a.status, RunStatus::DeadlineExceeded);
+        assert!(a.status.is_partial());
+    }
+
+    #[test]
+    fn merge_concatenates_completed_and_faults() {
+        let mut a = MiningResult {
+            completed: vec![0, 2],
+            faults: vec![Fault { vid: 1, payload: "boom".into() }],
+            ..MiningResult::empty(1)
+        };
+        let b = MiningResult { completed: vec![3], ..MiningResult::empty(1) };
+        a.merge(&b);
+        assert_eq!(a.completed, vec![0, 2, 3]);
+        assert_eq!(a.faults.len(), 1);
+        assert_eq!(a.faults[0].vid, 1);
     }
 
     #[test]

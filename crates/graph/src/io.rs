@@ -96,31 +96,54 @@ pub fn write_csr<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
     Ok(())
 }
 
+/// Elements preallocated up front when reading untrusted length headers.
+/// Anything larger grows on demand as real data actually arrives, so a
+/// 16-byte file declaring 2⁶⁴ vertices cannot request terabytes.
+const PREALLOC_CAP: usize = 1 << 20;
+
 /// Reads a graph previously written by [`write_csr`], re-validating all CSR
 /// invariants.
 ///
+/// The header's length fields are untrusted: implausible values are
+/// rejected up front, and buffer preallocation is capped, so a tiny
+/// malformed file cannot trigger a huge allocation.
+///
 /// # Errors
 ///
-/// Returns [`GraphError::Parse`] on a bad magic/truncated stream and any
-/// validation error from [`CsrGraph::from_parts`].
+/// Returns [`GraphError::BadFormat`] on a bad magic or implausible header,
+/// [`GraphError::Io`] on a truncated stream, and any validation error from
+/// [`CsrGraph::from_parts`].
 pub fn read_csr<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != CSR_MAGIC {
-        return Err(GraphError::Parse { line: 0, message: "bad csr magic".into() });
+        return Err(GraphError::BadFormat("bad csr magic".into()));
     }
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf8)?;
-    let n = u64::from_le_bytes(buf8) as usize;
+    let n64 = u64::from_le_bytes(buf8);
     r.read_exact(&mut buf8)?;
-    let m = u64::from_le_bytes(buf8) as usize;
-    let mut offsets = Vec::with_capacity(n + 1);
+    let m64 = u64::from_le_bytes(buf8);
+    // Vertex ids are 32-bit, and a simple graph has < n² directed edges;
+    // headers beyond either bound cannot describe a valid graph.
+    if n64 > u32::MAX as u64 + 1 {
+        return Err(GraphError::BadFormat(format!(
+            "declared vertex count {n64} exceeds the 32-bit id space"
+        )));
+    }
+    if u128::from(m64) > u128::from(n64) * u128::from(n64.saturating_sub(1)) {
+        return Err(GraphError::BadFormat(format!(
+            "declared edge count {m64} is impossible for {n64} vertices"
+        )));
+    }
+    let (n, m) = (n64 as usize, m64 as usize);
+    let mut offsets = Vec::with_capacity((n + 1).min(PREALLOC_CAP));
     for _ in 0..=n {
         r.read_exact(&mut buf8)?;
         offsets.push(u64::from_le_bytes(buf8) as usize);
     }
-    let mut neighbors = Vec::with_capacity(m);
+    let mut neighbors = Vec::with_capacity(m.min(PREALLOC_CAP));
     let mut buf4 = [0u8; 4];
     for _ in 0..m {
         r.read_exact(&mut buf4)?;
@@ -178,7 +201,8 @@ mod tests {
     #[test]
     fn binary_csr_rejects_bad_magic() {
         let err = read_csr(&b"NOTACSR!rest"[..]).unwrap_err();
-        assert!(matches!(err, GraphError::Parse { .. }));
+        assert!(matches!(err, GraphError::BadFormat(_)));
+        assert!(err.to_string().contains("bad csr magic"));
     }
 
     #[test]
@@ -187,6 +211,36 @@ mod tests {
         let mut buf = Vec::new();
         write_csr(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
+        assert!(matches!(read_csr(buf.as_slice()), Err(GraphError::Io(_))));
+    }
+
+    /// Regression: a 24-byte file declaring absurd lengths must fail fast
+    /// with a format error — not attempt a multi-terabyte preallocation.
+    #[test]
+    fn binary_csr_huge_declared_counts_do_not_preallocate() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(CSR_MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        buf.extend_from_slice(&0u64.to_le_bytes()); // m
+        let err = read_csr(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::BadFormat(_)), "{err}");
+        assert!(err.to_string().contains("vertex count"));
+
+        // Plausible n, impossible m for a simple graph.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(CSR_MAGIC);
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_csr(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::BadFormat(_)), "{err}");
+        assert!(err.to_string().contains("edge count"));
+
+        // In-bounds header lengths with no data behind them: preallocation
+        // is capped, so this hits EOF instead of exhausting memory.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(CSR_MAGIC);
+        buf.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
         assert!(matches!(read_csr(buf.as_slice()), Err(GraphError::Io(_))));
     }
 }

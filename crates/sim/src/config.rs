@@ -93,6 +93,12 @@ pub struct SimConfig {
     pub epoch: u64,
     /// Honor frontier-memoization hints (paper: always on; ablation knob).
     pub frontier_memo: bool,
+    /// Watchdog cycle cap: if the simulated clock reaches this value before
+    /// every PE drains, the simulation stops and dumps per-PE FSM state
+    /// into [`SimReport::watchdog`](crate::SimReport::watchdog) instead of
+    /// hanging the host. `0` (the default) disables the watchdog; counts in
+    /// a tripped report are partial and must not be normalized.
+    pub watchdog_cycles: u64,
 }
 
 impl Default for SimConfig {
@@ -121,6 +127,7 @@ impl Default for SimConfig {
             sched_latency: 16,
             epoch: 4096,
             frontier_memo: true,
+            watchdog_cycles: 0,
         }
     }
 }
@@ -186,6 +193,7 @@ mod tests {
         assert_eq!(c.l2_bytes, 4 * 1024 * 1024);
         assert_eq!(c.dram.channels, 4);
         assert!(c.cmap_enabled());
+        assert_eq!(c.watchdog_cycles, 0); // watchdog off by default
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::addr::AddressMap;
 use crate::config::SimConfig;
 use crate::mem::MemorySystem;
 use crate::pe::Pe;
-use crate::stats::SimReport;
+use crate::stats::{SimReport, WatchdogDump};
 use fm_engine::executor::prepare_graph;
 use fm_graph::CsrGraph;
 use fm_plan::lowering::{lower, LowerOptions};
@@ -77,6 +77,7 @@ pub fn simulate(graph: &CsrGraph, plan: &ExecutionPlan, cfg: &SimConfig) -> SimR
     let mut pes: Vec<Pe> =
         (0..cfg.num_pes.max(1)).map(|i| Pe::new(i, cfg, prog.depth, plan.patterns.len())).collect();
 
+    let mut watchdog: Option<WatchdogDump> = None;
     let mut deadline = cfg.epoch.max(1);
     loop {
         let mut all_done = true;
@@ -88,11 +89,27 @@ pub fn simulate(graph: &CsrGraph, plan: &ExecutionPlan, cfg: &SimConfig) -> SimR
         if all_done {
             break;
         }
+        // Watchdog (checked at epoch granularity): a modelling bug that
+        // wedges a PE's FSM would otherwise spin this loop forever. Dump
+        // every PE's state for diagnosis instead of hanging the host.
+        if cfg.watchdog_cycles > 0 && deadline >= cfg.watchdog_cycles {
+            watchdog = Some(WatchdogDump {
+                cap: cfg.watchdog_cycles,
+                pes: pes.iter().map(Pe::fsm_state).collect(),
+            });
+            break;
+        }
         deadline += cfg.epoch.max(1);
     }
 
+    let tripped = watchdog.is_some();
     let mut report = SimReport {
-        cycles: pes.iter().map(|p| p.finish).max().unwrap_or(0),
+        cycles: if tripped {
+            pes.iter().map(|p| p.now).max().unwrap_or(0)
+        } else {
+            pes.iter().map(|p| p.finish).max().unwrap_or(0)
+        },
+        watchdog,
         counts: vec![0; plan.patterns.len()],
         pe_finish_cycles: pes.iter().map(|p| p.finish).collect(),
         l2_accesses: shared.l2_accesses,
@@ -252,6 +269,49 @@ mod tests {
         let a = simulate(&g, &plan, &SimConfig::with_pes(3));
         let b = simulate(&g, &plan, &SimConfig::with_pes(3));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn watchdog_trips_and_dumps_fsm_state() {
+        let g = generators::powerlaw_cluster(300, 5, 0.5, 21);
+        let plan = compile(&Pattern::k_clique(4), CompileOptions::default());
+        let mut cfg = SimConfig::with_pes(2);
+        let full = simulate(&g, &plan, &cfg);
+        assert!(full.watchdog.is_none());
+        // Cap the clock well below the full run: the simulation must stop
+        // at the cap instead of draining, and report every PE's FSM.
+        cfg.watchdog_cycles = full.cycles / 4;
+        cfg.epoch = 256;
+        let tripped = simulate(&g, &plan, &cfg);
+        let dump = tripped.watchdog.as_ref().expect("watchdog should trip");
+        assert_eq!(dump.cap, cfg.watchdog_cycles);
+        assert_eq!(dump.pes.len(), 2);
+        assert!(dump.stuck_pes().count() > 0);
+        for pe in dump.stuck_pes() {
+            // A working (non-done) PE is inside a task: its FSM stack is
+            // non-empty and the top frame renders for diagnosis.
+            assert!(pe.stack_depth > 0);
+            assert!(pe.top_frame.is_some());
+            assert!(!pe.embedding.is_empty());
+        }
+        assert!(tripped.cycles < full.cycles);
+        // Partial counts never exceed the full run's.
+        for (partial, total) in tripped.counts.iter().zip(&full.counts) {
+            assert!(partial <= total);
+        }
+    }
+
+    #[test]
+    fn generous_watchdog_does_not_perturb_the_run() {
+        let g = generators::powerlaw_cluster(120, 4, 0.5, 8);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let unbounded = simulate(&g, &plan, &SimConfig::with_pes(3));
+        let mut cfg = SimConfig::with_pes(3);
+        cfg.watchdog_cycles = unbounded.cycles * 10;
+        let guarded = simulate(&g, &plan, &cfg);
+        assert!(guarded.watchdog.is_none());
+        assert_eq!(guarded.counts, unbounded.counts);
+        assert_eq!(guarded.cycles, unbounded.cycles);
     }
 
     #[test]

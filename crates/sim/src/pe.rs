@@ -22,7 +22,7 @@ use crate::cmap::HwCmap;
 use crate::config::SimConfig;
 use crate::machine::Scheduler;
 use crate::mem::MemorySystem;
-use crate::stats::PeStats;
+use crate::stats::{PeFsmState, PeStats};
 use fm_engine::result::WorkCounters;
 use fm_engine::setops;
 use fm_graph::{CsrGraph, VertexId};
@@ -96,6 +96,26 @@ impl Pe {
             noc_rt: cfg.noc_round_trip(id),
             counts: vec![0; patterns],
             stats: PeStats::default(),
+        }
+    }
+
+    /// Snapshots this PE's FSM for a watchdog dump.
+    pub(crate) fn fsm_state(&self) -> PeFsmState {
+        PeFsmState {
+            pe: self.id,
+            cycle: self.now,
+            done: self.done,
+            stack_depth: self.stack.len(),
+            top_frame: self.stack.last().map(|f| match f {
+                Frame::Enter { node, child, .. } => {
+                    format!("Enter {{ node {node}, child {child} }}")
+                }
+                Frame::Step { node, cand, len, .. } => {
+                    format!("Step {{ node {node}, candidate {cand}/{len} }}")
+                }
+            }),
+            embedding: self.emb.iter().map(|v| v.0).collect(),
+            tasks_claimed: self.stats.tasks,
         }
     }
 

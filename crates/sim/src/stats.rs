@@ -56,6 +56,44 @@ impl PeStats {
     }
 }
 
+/// Snapshot of one PE's DFS finite state machine (Fig. 10), captured when
+/// the watchdog trips.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PeFsmState {
+    /// PE index.
+    pub pe: usize,
+    /// The PE's local clock at capture time.
+    pub cycle: u64,
+    /// Whether this PE had already drained the task queue.
+    pub done: bool,
+    /// Frames on the FSM's explicit DFS stack.
+    pub stack_depth: usize,
+    /// Human-readable rendering of the top stack frame (`None` when idle
+    /// between tasks).
+    pub top_frame: Option<String>,
+    /// The partial embedding held at capture time.
+    pub embedding: Vec<u32>,
+    /// Tasks this PE had claimed from the scheduler.
+    pub tasks_claimed: u64,
+}
+
+/// Diagnostic dump produced when the watchdog cycle cap trips
+/// ([`SimConfig::watchdog_cycles`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WatchdogDump {
+    /// Cycle cap in effect when the watchdog fired.
+    pub cap: u64,
+    /// One FSM snapshot per PE, in PE order.
+    pub pes: Vec<PeFsmState>,
+}
+
+impl WatchdogDump {
+    /// The PEs still working when the watchdog fired.
+    pub fn stuck_pes(&self) -> impl Iterator<Item = &PeFsmState> {
+        self.pes.iter().filter(|p| !p.done)
+    }
+}
+
 /// The result of one accelerator simulation.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct SimReport {
@@ -77,6 +115,10 @@ pub struct SimReport {
     pub dram_accesses: u64,
     /// DRAM row-buffer hits.
     pub dram_row_hits: u64,
+    /// Present iff the watchdog cycle cap tripped. A tripped report's
+    /// `counts` are partial (whatever the PEs had reduced so far) and must
+    /// not be treated as totals.
+    pub watchdog: Option<WatchdogDump>,
 }
 
 impl SimReport {
