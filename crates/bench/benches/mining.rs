@@ -19,9 +19,10 @@ fn bench_engine_patterns(c: &mut Criterion) {
         ("diamond", Pattern::diamond()),
     ] {
         let plan = compile(&p, CompileOptions::default());
-        // Faithful = the paper's GraphZero-equivalent datapath; bounded and
-        // the default (bounded+gallop) config ablate the software-only
-        // candidate-generation optimizations against it.
+        // Faithful = the paper's GraphZero-equivalent datapath; the other
+        // groups ablate the software-only candidate-generation
+        // optimizations against it one tier at a time: bound pushdown,
+        // +galloping, +hub-bitmap probes (the full default config).
         group.bench_with_input(BenchmarkId::new("faithful", name), &plan, |b, plan| {
             b.iter(|| mine_single_threaded(&g, plan, &EngineConfig::paper_faithful()).counts)
         });
@@ -30,12 +31,22 @@ fn bench_engine_patterns(c: &mut Criterion) {
                 mine_single_threaded(
                     &g,
                     plan,
-                    &EngineConfig { gallop_ratio: 0, ..Default::default() },
+                    &EngineConfig { gallop_ratio: 0, hub_bitmap: false, ..Default::default() },
                 )
                 .counts
             })
         });
         group.bench_with_input(BenchmarkId::new("bounded-gallop", name), &plan, |b, plan| {
+            b.iter(|| {
+                mine_single_threaded(
+                    &g,
+                    plan,
+                    &EngineConfig { hub_bitmap: false, ..Default::default() },
+                )
+                .counts
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap", name), &plan, |b, plan| {
             b.iter(|| mine_single_threaded(&g, plan, &EngineConfig::default()).counts)
         });
         group.bench_with_input(BenchmarkId::new("cmap", name), &plan, |b, plan| {
@@ -43,7 +54,7 @@ fn bench_engine_patterns(c: &mut Criterion) {
                 mine_single_threaded(
                     &g,
                     plan,
-                    &EngineConfig { use_cmap: true, ..Default::default() },
+                    &EngineConfig { use_cmap: true, hub_bitmap: false, ..Default::default() },
                 )
                 .counts
             })

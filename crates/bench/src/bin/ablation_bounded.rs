@@ -22,9 +22,17 @@ fn main() {
     let d = dataset(DatasetKey::Mi, args.quick);
 
     let faithful = EngineConfig { threads: args.threads, ..EngineConfig::paper_faithful() };
-    let bounded =
-        EngineConfig { threads: args.threads, gallop_ratio: 0, ..EngineConfig::default() };
-    let adaptive = EngineConfig { threads: args.threads, ..EngineConfig::default() };
+    // Hub-bitmap probes are pinned off in every mode here so the columns
+    // isolate the pushdown and gallop tiers; the probe tier has its own
+    // ablation (`ablation_bitmap`, table `BENCH_bitmap`).
+    let bounded = EngineConfig {
+        threads: args.threads,
+        gallop_ratio: 0,
+        hub_bitmap: false,
+        ..EngineConfig::default()
+    };
+    let adaptive =
+        EngineConfig { threads: args.threads, hub_bitmap: false, ..EngineConfig::default() };
 
     let mut table = Table::new(
         "ablation_bounded",

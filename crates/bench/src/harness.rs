@@ -1,7 +1,6 @@
 //! Shared experiment plumbing: argument parsing, timing, table output.
 
-use fm_engine::executor::prepare_graph;
-use fm_engine::{mine_prepared, EngineConfig, MiningResult};
+use fm_engine::{mine_prepared, prepare, EngineConfig, MiningResult};
 use fm_graph::CsrGraph;
 use fm_plan::ExecutionPlan;
 use std::path::PathBuf;
@@ -77,9 +76,9 @@ pub fn time_engine_with(
     plan: &ExecutionPlan,
     cfg: &EngineConfig,
 ) -> (f64, MiningResult) {
-    // One-time preprocessing (k-clique orientation) is excluded, as in the
-    // paper and as in the simulator's cycle accounting.
-    let prepared = prepare_graph(g, plan);
+    // One-time preprocessing (k-clique orientation, hub-index build) is
+    // excluded, as in the paper and as in the simulator's cycle accounting.
+    let prepared = prepare(g, plan, cfg);
     let start = Instant::now();
     let result = mine_prepared(&prepared, plan, cfg);
     let mut best = start.elapsed().as_secs_f64();

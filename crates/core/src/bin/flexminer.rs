@@ -90,6 +90,7 @@ commands:
   count <pattern> --graph <input> [flags]   mine with the software engine
         [--induced] [--threads N] [--no-symmetry]
         [--timeout SECS] [--budget SETOP_ITERS]
+        [--no-hub-bitmap] [--hub-threshold DEGREE] [--hub-budget BYTES]
   sim   <pattern> --graph <input> [flags]   mine on the simulated accelerator
         [--pes N] [--cmap BYTES|unlimited|none] [--energy] [--induced]
         [--watchdog CYCLES]
@@ -186,9 +187,17 @@ fn cmd_count(args: &[String], _induced_default: bool) -> CliResult {
     let g = load_graph(args)?;
     let threads = flag_value(args, "--threads")
         .map_or(Ok(1), |v| v.parse::<usize>().map_err(|e| e.to_string()))?;
-    let mut job = Miner::new(&g)
-        .pattern(pattern)
-        .backend(Backend::Software(EngineConfig::with_threads(threads)));
+    let mut cfg = EngineConfig::with_threads(threads);
+    if has_flag(args, "--no-hub-bitmap") {
+        cfg.hub_bitmap = false;
+    }
+    if let Some(v) = flag_value(args, "--hub-threshold") {
+        cfg.hub_degree_threshold = v.parse().map_err(|e| format!("bad --hub-threshold: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--hub-budget") {
+        cfg.hub_memory_budget = v.parse().map_err(|e| format!("bad --hub-budget: {e}"))?;
+    }
+    let mut job = Miner::new(&g).pattern(pattern).backend(Backend::Software(cfg));
     if has_flag(args, "--induced") {
         job = job.induced(true);
     }

@@ -280,6 +280,29 @@ impl<'g> Miner<'g> {
         self
     }
 
+    /// Toggles the hub-bitmap probe index on the software backend (see
+    /// [`EngineConfig::hub_bitmap`]). No-op for the accelerator backend —
+    /// the simulated SIU/SDU merge datapath has no probe port.
+    #[must_use]
+    pub fn hub_bitmap(mut self, enabled: bool) -> Self {
+        if let Backend::Software(cfg) = &mut self.backend {
+            cfg.hub_bitmap = enabled;
+        }
+        self
+    }
+
+    /// Sets the hub selection degree threshold and memory budget in bytes
+    /// (software backend only; see [`EngineConfig::hub_degree_threshold`]
+    /// and [`EngineConfig::hub_memory_budget`]).
+    #[must_use]
+    pub fn hub_limits(mut self, degree_threshold: usize, memory_budget: usize) -> Self {
+        if let Backend::Software(cfg) = &mut self.backend {
+            cfg.hub_degree_threshold = degree_threshold;
+            cfg.hub_memory_budget = memory_budget;
+        }
+        self
+    }
+
     /// Applies a resource [`Budget`] (software backend only). Limits
     /// combine with any already set — each takes the tighter value — so a
     /// budget on the job and one on the `EngineConfig` both hold.
@@ -457,6 +480,20 @@ mod tests {
         assert_eq!(sw.counts(), par.counts());
         assert!(sw.work().is_some() && sw.sim_report().is_none());
         assert!(hw.work().is_none() && hw.sim_report().is_some());
+    }
+
+    #[test]
+    fn hub_bitmap_toggle_preserves_counts_and_is_inert_on_accelerator() {
+        let g = generators::attach_hubs(&generators::powerlaw_cluster(150, 4, 0.5, 8), 3, 90, 5);
+        let job = Miner::new(&g).pattern(Pattern::cycle(4)).hub_limits(32, 1 << 22);
+        let on = job.clone().hub_bitmap(true).run().unwrap();
+        let off = job.clone().hub_bitmap(false).run().unwrap();
+        assert_eq!(on.counts(), off.counts());
+        assert!(on.work().unwrap().probe_dispatches > 0, "hubs of degree 90 must probe");
+        assert_eq!(off.work().unwrap().probe_dispatches, 0);
+        // The accelerator backend has no probe port; the toggle is a no-op.
+        let hw = job.backend(Backend::accelerator()).hub_bitmap(true).run().unwrap();
+        assert_eq!(hw.counts(), on.counts());
     }
 
     #[test]

@@ -12,11 +12,12 @@ use crate::fail_point;
 use crate::result::{Fault, MiningResult, RunStatus, WorkCounters};
 use crate::setops;
 use crate::EngineConfig;
-use fm_graph::{orient_by_degree, CsrGraph, VertexId};
+use fm_graph::{orient_by_degree, CsrGraph, HubBitmaps, VertexId};
 use fm_plan::lowering::{lower, LowerOptions, Program};
 use fm_plan::{ExecutionPlan, FrontierHint};
 use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Applies the plan's preprocessing directive to the data graph: k-clique
 /// plans run on the degree-oriented DAG (§V-C), everything else on the
@@ -30,6 +31,58 @@ pub fn prepare_graph<'g>(graph: &'g CsrGraph, plan: &ExecutionPlan) -> Cow<'g, C
     } else {
         Cow::Borrowed(graph)
     }
+}
+
+/// A data graph fully preprocessed for mining: the (possibly oriented)
+/// graph plus the optional hub-bitmap index built over it.
+///
+/// The index is built once here — not per executor — and handed to worker
+/// [`Executor`]s behind an [`Arc`], so parallel drivers share one copy.
+/// Construction is governed by the config: [`EngineConfig::hub_bitmap_active`]
+/// decides whether an index is built at all, and an index that comes back
+/// empty (no vertex reaches the degree threshold, or the memory budget is
+/// too tight) is dropped so the dispatcher never consults it.
+pub struct PreparedGraph<'g> {
+    graph: Cow<'g, CsrGraph>,
+    hubs: Option<Arc<HubBitmaps>>,
+}
+
+impl<'g> PreparedGraph<'g> {
+    /// The prepared (oriented for k-clique plans) graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// A shared handle to the hub index, if one was built and is non-empty.
+    pub fn hubs_arc(&self) -> Option<Arc<HubBitmaps>> {
+        self.hubs.clone()
+    }
+}
+
+impl std::ops::Deref for PreparedGraph<'_> {
+    type Target = CsrGraph;
+    fn deref(&self) -> &CsrGraph {
+        &self.graph
+    }
+}
+
+/// [`prepare_graph`] plus hub-index construction: the preprocessing step
+/// shared by every mining entry point, so single-threaded, parallel, and
+/// re-run-the-completed-set executions all see the same index and charge
+/// identical work.
+pub fn prepare<'g>(
+    graph: &'g CsrGraph,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+) -> PreparedGraph<'g> {
+    let graph = prepare_graph(graph, plan);
+    let hubs = if cfg.hub_bitmap_active() {
+        let idx = HubBitmaps::build(&graph, cfg.hub_degree_threshold, cfg.hub_memory_budget);
+        (!idx.is_empty()).then(|| Arc::new(idx))
+    } else {
+        None
+    };
+    PreparedGraph { graph, hubs }
 }
 
 /// Convenience entry point: prepares the graph and mines every start vertex
@@ -53,8 +106,8 @@ pub fn mine_single_threaded(
     plan: &ExecutionPlan,
     cfg: &EngineConfig,
 ) -> MiningResult {
-    let prepared = prepare_graph(graph, plan);
-    let mut ex = Executor::new(&prepared, plan, cfg);
+    let prepared = prepare(graph, plan, cfg);
+    let mut ex = Executor::with_hubs(prepared.graph(), plan, cfg, prepared.hubs_arc());
     ex.run_range(0, prepared.num_vertices() as u32);
     ex.finish()
 }
@@ -120,6 +173,7 @@ pub(crate) fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
 /// driver, the benchmarks and differential tests.
 pub struct Executor<'g> {
     graph: &'g CsrGraph,
+    hubs: Option<Arc<HubBitmaps>>,
     program: Program,
     cfg: EngineConfig,
     state: State,
@@ -127,8 +181,33 @@ pub struct Executor<'g> {
 
 impl<'g> Executor<'g> {
     /// Creates an executor over `graph`, which must already be prepared via
-    /// [`prepare_graph`] (oriented for k-clique plans).
+    /// [`prepare_graph`] (oriented for k-clique plans). Builds its own hub
+    /// index when the config calls for one; parallel drivers share a
+    /// prebuilt index across workers via [`Executor::with_hubs`] instead.
     pub fn new(graph: &'g CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> Executor<'g> {
+        let hubs = if cfg.hub_bitmap_active() {
+            let idx = HubBitmaps::build(graph, cfg.hub_degree_threshold, cfg.hub_memory_budget);
+            (!idx.is_empty()).then(|| Arc::new(idx))
+        } else {
+            None
+        };
+        Self::with_hubs(graph, plan, cfg, hubs)
+    }
+
+    /// Creates an executor sharing a prebuilt hub index (or none). The
+    /// index must have been built over this same prepared `graph` — see
+    /// [`prepare`].
+    pub fn with_hubs(
+        graph: &'g CsrGraph,
+        plan: &ExecutionPlan,
+        cfg: &EngineConfig,
+        hubs: Option<Arc<HubBitmaps>>,
+    ) -> Executor<'g> {
+        cfg.debug_validate();
+        debug_assert!(
+            hubs.is_none() || cfg.hub_bitmap_active(),
+            "a hub index must not reach a config that excludes probes (paper_faithful)"
+        );
         let program = lower(
             plan,
             LowerOptions {
@@ -137,7 +216,7 @@ impl<'g> Executor<'g> {
             },
         );
         let state = State::new(program.depth, plan.patterns.len());
-        Executor { graph, program, cfg: *cfg, state }
+        Executor { graph, hubs, program, cfg: *cfg, state }
     }
 
     /// Enables recording of complete matches (pattern index + embedding).
@@ -154,7 +233,7 @@ impl<'g> Executor<'g> {
     /// Panics if `v` is out of range for the graph.
     pub fn run_vertex(&mut self, v: VertexId) {
         fail_point!("start_vertex", v.0 as u64);
-        enter(self.graph, &self.cfg, &self.program, &mut self.state, 0, v);
+        enter(self.graph, self.hubs.as_deref(), &self.cfg, &self.program, &mut self.state, 0, v);
         debug_assert!(self.state.emb.is_empty());
         debug_assert!(
             !self.cfg.use_cmap || self.state.cmap.is_empty(),
@@ -242,6 +321,7 @@ impl<'g> Executor<'g> {
 /// insertion, recurses into children, and unwinds.
 fn enter(
     g: &CsrGraph,
+    hubs: Option<&HubBitmaps>,
     cfg: &EngineConfig,
     prog: &Program,
     state: &mut State,
@@ -277,7 +357,7 @@ fn enter(
         }
     }
     for &child in &node.children {
-        step(g, cfg, prog, state, child);
+        step(g, hubs, cfg, prog, state, child);
     }
     if did_insert {
         let ins = std::mem::take(&mut state.inserted[d]);
@@ -291,12 +371,59 @@ fn enter(
 }
 
 /// Generates the candidates of `node` and recurses into each survivor.
-fn step(g: &CsrGraph, cfg: &EngineConfig, prog: &Program, state: &mut State, node_idx: usize) {
+fn step(
+    g: &CsrGraph,
+    hubs: Option<&HubBitmaps>,
+    cfg: &EngineConfig,
+    prog: &Program,
+    state: &mut State,
+    node_idx: usize,
+) {
     let node = &prog.nodes[node_idx];
     let d = node.depth;
     let bound: Option<VertexId> = node.upper_bounds.iter().map(|&l| state.emb[l]).min();
 
-    build_core(g, cfg, prog, state, node_idx, bound);
+    // Count-only leaf fusion: a terminal `Extend` level with no
+    // injectivity filter only needs |core ∩ N(v)| — dispatch the counting
+    // twin of the adaptive kernel instead of materializing the frontier.
+    // Every counter (iterations, comparisons, dispatches,
+    // candidates_checked, extensions) is charged exactly as the
+    // materialize-then-count path would, so fusion is invisible to work
+    // accounting; it only skips the frontier write. Restricted to cases
+    // where the materialized core would contain precisely the counted
+    // elements: bound pushed down (or absent) and no c-map probe arm.
+    if !cfg.paper_faithful
+        && state.matches.is_none()
+        && node.children.is_empty()
+        && node.injectivity.is_empty()
+        && node.frontier == FrontierHint::Extend
+        && !(cfg.use_cmap && node.probe)
+        && (bound.is_none() || node.bounded_build)
+    {
+        if let Some(pi) = node.pattern_index {
+            fail_point!("frontier_alloc", state.emb[0].0 as u64);
+            fail_point!("csr_read", state.emb[0].0 as u64);
+            let v = state.emb[d - 1];
+            let adj = g.neighbors(v);
+            let hub = hubs.and_then(|h| h.row(v));
+            let src = state.core_at[d - 1];
+            let merge_bound = if node.bounded_build { bound } else { None };
+            let found = setops::intersect_adaptive_count(
+                &state.frontiers[src],
+                adj,
+                merge_bound,
+                cfg.gallop_ratio,
+                hub,
+                &mut state.work,
+            );
+            state.counts[pi] += found;
+            state.work.candidates_checked += found;
+            state.work.extensions += found;
+            return;
+        }
+    }
+
+    build_core(g, hubs, cfg, prog, state, node_idx, bound);
 
     let core = state.core_at[d];
     let len = state.frontiers[core].len();
@@ -338,7 +465,7 @@ fn step(g: &CsrGraph, cfg: &EngineConfig, prog: &Program, state: &mut State, nod
         if node.injectivity.iter().any(|&l| state.emb[l] == w) {
             continue;
         }
-        enter(g, cfg, prog, state, node_idx, w);
+        enter(g, hubs, cfg, prog, state, node_idx, w);
     }
 }
 
@@ -346,6 +473,7 @@ fn step(g: &CsrGraph, cfg: &EngineConfig, prog: &Program, state: &mut State, nod
 /// its buffer index in `state.core_at[depth]`.
 fn build_core(
     g: &CsrGraph,
+    hubs: Option<&HubBitmaps>,
     cfg: &EngineConfig,
     prog: &Program,
     state: &mut State,
@@ -416,30 +544,27 @@ fn build_core(
                 } else {
                     setops::difference_into(&state.frontiers[src], adj, &mut out, &mut state.work)
                 }
-            } else if want_connected {
-                setops::intersect_adaptive_into(
-                    &state.frontiers[src],
-                    adj,
-                    merge_bound,
-                    cfg.gallop_ratio,
-                    &mut out,
-                    &mut state.work,
-                )
             } else {
-                match merge_bound {
-                    Some(b) => setops::difference_bounded_into(
+                let hub = hubs.and_then(|h| h.row(state.emb[d - 1]));
+                if want_connected {
+                    setops::intersect_adaptive_into(
                         &state.frontiers[src],
                         adj,
-                        b,
+                        merge_bound,
+                        cfg.gallop_ratio,
+                        hub,
                         &mut out,
                         &mut state.work,
-                    ),
-                    None => setops::difference_into(
+                    )
+                } else {
+                    setops::difference_adaptive_into(
                         &state.frontiers[src],
                         adj,
+                        merge_bound,
+                        hub,
                         &mut out,
                         &mut state.work,
-                    ),
+                    )
                 }
             }
             state.frontiers[d] = out;
@@ -487,21 +612,27 @@ fn build_core(
                         } else {
                             setops::difference_into(cur, adj, dst, &mut state.work);
                         }
-                    } else if is_conn {
-                        setops::intersect_adaptive_into(
-                            cur,
-                            adj,
-                            merge_bound,
-                            cfg.gallop_ratio,
-                            dst,
-                            &mut state.work,
-                        );
                     } else {
-                        match merge_bound {
-                            Some(bd) => {
-                                setops::difference_bounded_into(cur, adj, bd, dst, &mut state.work)
-                            }
-                            None => setops::difference_into(cur, adj, dst, &mut state.work),
+                        let hub = hubs.and_then(|h| h.row(state.emb[l]));
+                        if is_conn {
+                            setops::intersect_adaptive_into(
+                                cur,
+                                adj,
+                                merge_bound,
+                                cfg.gallop_ratio,
+                                hub,
+                                dst,
+                                &mut state.work,
+                            );
+                        } else {
+                            setops::difference_adaptive_into(
+                                cur,
+                                adj,
+                                merge_bound,
+                                hub,
+                                dst,
+                                &mut state.work,
+                            );
                         }
                     }
                 }

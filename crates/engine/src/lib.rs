@@ -63,11 +63,30 @@ macro_rules! fail_point {
 pub(crate) use fail_point;
 
 pub use control::{Budget, CancelToken};
-pub use executor::{mine_single_threaded, Executor};
+pub use executor::{mine_single_threaded, prepare, Executor, PreparedGraph};
 pub use parallel::{mine, mine_prepared, mine_prepared_with_cancel, mine_with_cancel};
 pub use result::{Fault, MiningResult, RunStatus, WorkCounters};
 
 /// Configuration of the software mining engines.
+///
+/// # Supported knob matrix
+///
+/// This is the single normative statement of how the mode knobs compose
+/// (structural invariants are asserted by [`EngineConfig::debug_validate`]
+/// on every executor construction):
+///
+/// | knob            | default | `paper_faithful()` | composition |
+/// |-----------------|---------|--------------------|-------------|
+/// | `use_cmap`      | off     | off                | supported with `frontier_memo` on **or** off — with memoization off the lowering marks every level insertable, so the c-map probes all levels (the cmap-mode tests flip both knobs together) |
+/// | `frontier_memo` | on      | on                 | off is a fully supported mode (merge-pipeline candidate generation), not merely an ablation artifact; counts are invariant |
+/// | `gallop_ratio`  | 16      | ignored            | any value; `0` disables galloping |
+/// | `hub_bitmap`    | on      | ignored (no probes)| composes with every other knob; inert when no vertex reaches `hub_degree_threshold` or `hub_memory_budget` is too tight |
+/// | `degree_sched`  | on      | on                 | only effective with `threads > 1`; counts and aggregate work are order-independent |
+///
+/// `paper_faithful` pins candidate generation to unbounded merges and
+/// ignores `gallop_ratio` and `hub_bitmap` entirely (no dispatcher runs,
+/// so the dispatch counters stay zero), keeping its work counters
+/// bit-identical to the recorded figure artifacts.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct EngineConfig {
     /// Worker threads (1 = run on the calling thread).
@@ -76,11 +95,15 @@ pub struct EngineConfig {
     pub chunk_size: usize,
     /// Serve connectivity constraints from a software c-map
     /// (Sandslash-style memoization [15, 21]) instead of merge-based set
-    /// operations.
+    /// operations. Composes with either state of
+    /// [`frontier_memo`](Self::frontier_memo); see the knob matrix in the
+    /// type docs.
     pub use_cmap: bool,
     /// Honor the plan's frontier-memoization hints. The paper keeps this
-    /// always on for fairness with GraphZero; disabling it is exposed for
-    /// ablation only.
+    /// on for fairness with GraphZero; turning it off selects the
+    /// merge-pipeline candidate-generation mode (identical counts, more
+    /// set-op work) and composes with `use_cmap` — see the knob matrix in
+    /// the type docs.
     pub frontier_memo: bool,
     /// Reproduce the paper's exact work-counter semantics: full unbounded
     /// SIU/SDU merges for `Extend`/`ExtendDiff`/merge-pipeline candidate
@@ -97,6 +120,20 @@ pub struct EngineConfig {
     /// `0` disables galloping; ignored under
     /// [`paper_faithful`](Self::paper_faithful).
     pub gallop_ratio: usize,
+    /// Build a degree-thresholded hub-bitmap index over the prepared graph
+    /// and let the adaptive dispatcher answer set ops against hub
+    /// adjacency lists with bitmap probes (third tier after merge and
+    /// galloping). The index is built once and shared across workers;
+    /// ignored under [`paper_faithful`](Self::paper_faithful) — the Fig. 9
+    /// merge FSM has no probe port.
+    pub hub_bitmap: bool,
+    /// Minimum degree for a vertex to be indexed as a hub. See
+    /// [`fm_graph::HubBitmaps::build`] for the selection policy.
+    pub hub_degree_threshold: usize,
+    /// Hard cap, in bytes, on the hub index footprint (rows plus the
+    /// per-vertex row map). The index silently shrinks — possibly to
+    /// empty — rather than failing when the budget is tight.
+    pub hub_memory_budget: usize,
     /// Hand start vertices to parallel workers in degree-descending order,
     /// so the heavy hub subtrees start first and cannot land at the tail
     /// of the schedule. Counts and aggregate work are order-independent;
@@ -120,6 +157,15 @@ impl Default for EngineConfig {
             frontier_memo: true,
             paper_faithful: false,
             gallop_ratio: 16,
+            hub_bitmap: true,
+            // The dispatcher only probes rows at least as long as the
+            // streamed side, so the threshold bounds index size rather
+            // than gating profitability: 32 ≈ the smallest row whose
+            // merge savings outweigh its bitset's cache residency on our
+            // generated inputs; 64 MiB comfortably holds every such row
+            // of the bundled datasets.
+            hub_degree_threshold: 32,
+            hub_memory_budget: 64 << 20,
             degree_sched: true,
             budget: Budget::unlimited(),
         }
@@ -136,5 +182,24 @@ impl EngineConfig {
     /// (see [`paper_faithful`](Self::paper_faithful)).
     pub fn paper_faithful() -> Self {
         EngineConfig { paper_faithful: true, ..Self::default() }
+    }
+
+    /// Whether this configuration builds and probes a hub-bitmap index:
+    /// [`hub_bitmap`](Self::hub_bitmap) requested and not overridden by
+    /// [`paper_faithful`](Self::paper_faithful).
+    pub fn hub_bitmap_active(&self) -> bool {
+        self.hub_bitmap && !self.paper_faithful
+    }
+
+    /// Debug-asserts the structural invariants of the supported knob
+    /// matrix (see the type docs). Called on every executor construction;
+    /// compiles to nothing in release builds.
+    pub fn debug_validate(&self) {
+        debug_assert!(self.threads >= 1, "threads must be at least 1");
+        debug_assert!(self.chunk_size >= 1, "chunk_size must be at least 1");
+        debug_assert!(
+            !(self.paper_faithful && self.hub_bitmap_active()),
+            "paper_faithful excludes the hub-bitmap probe tier"
+        );
     }
 }

@@ -16,7 +16,7 @@
 //! finished, tagged with the appropriate [`RunStatus`].
 
 use crate::control::{CancelToken, Monitor, StopKind};
-use crate::executor::{payload_string, prepare_graph, Executor};
+use crate::executor::{payload_string, prepare, Executor, PreparedGraph};
 use crate::result::{Fault, MiningResult, RunStatus};
 use crate::EngineConfig;
 use fm_graph::{CsrGraph, VertexId};
@@ -56,24 +56,30 @@ pub fn mine_with_cancel(
     cfg: &EngineConfig,
     cancel: Option<&CancelToken>,
 ) -> MiningResult {
-    let prepared = prepare_graph(graph, plan);
+    let prepared = prepare(graph, plan, cfg);
     mine_prepared_with_cancel(&prepared, plan, cfg, cancel)
 }
 
 /// Like [`mine`], but over a graph already prepared with
-/// [`prepare_graph`](crate::executor::prepare_graph). Benchmarks use this
-/// to exclude the one-time orientation preprocessing from timed regions
-/// (the paper: "the preprocessing time is usually less than 1% of the
-/// execution time, and once converted, the graph can be used for any
-/// k-CL").
-pub fn mine_prepared(g: &CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> MiningResult {
+/// [`prepare`](crate::executor::prepare). Benchmarks use this to exclude
+/// the one-time preprocessing (orientation and hub-index construction)
+/// from timed regions (the paper: "the preprocessing time is usually less
+/// than 1% of the execution time, and once converted, the graph can be
+/// used for any k-CL").
+pub fn mine_prepared(
+    g: &PreparedGraph<'_>,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+) -> MiningResult {
     mine_prepared_with_cancel(g, plan, cfg, None)
 }
 
 /// The full-control driver: prepared graph, engine budget from `cfg`, and
 /// an optional cancellation token. All other entry points funnel here.
+/// Workers share the prepared graph's hub index by `Arc` handle — it is
+/// never rebuilt per thread.
 pub fn mine_prepared_with_cancel(
-    g: &CsrGraph,
+    g: &PreparedGraph<'_>,
     plan: &ExecutionPlan,
     cfg: &EngineConfig,
     cancel: Option<&CancelToken>,
@@ -81,7 +87,7 @@ pub fn mine_prepared_with_cancel(
     let n = g.num_vertices() as u32;
     let monitor = Monitor::new(cancel, cfg.budget);
     if cfg.threads <= 1 {
-        let mut ex = Executor::new(g, plan, cfg);
+        let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
         let stop = drive(&mut ex, &monitor, (0..n).map(VertexId));
         return finalize(finish_worker(ex, stop));
     }
@@ -106,13 +112,31 @@ pub fn mine_prepared_with_cancel(
                 let order = order.as_deref();
                 let monitor = &monitor;
                 scope.spawn(move || {
-                    let mut ex = Executor::new(g, plan, cfg);
+                    let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
                     let mut stop = None;
                     while stop.is_none() {
-                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if lo >= n as usize {
-                            break;
-                        }
+                        // Claim the next chunk with a check-then-advance
+                        // CAS loop rather than an unconditional fetch_add:
+                        // once the cursor reaches `n`, workers exit without
+                        // pushing it further, so a drained job leaves the
+                        // cursor at a deterministic value instead of
+                        // overshooting by up to `threads * chunk`.
+                        let lo = loop {
+                            let cur = cursor.load(Ordering::Relaxed);
+                            if cur >= n as usize {
+                                break None;
+                            }
+                            match cursor.compare_exchange_weak(
+                                cur,
+                                cur + chunk,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => break Some(cur),
+                                Err(_) => continue,
+                            }
+                        };
+                        let Some(lo) = lo else { break };
                         let hi = (lo + chunk).min(n as usize);
                         let vids = (lo..hi).map(|i| match order {
                             Some(order) => VertexId(order[i]),
@@ -190,7 +214,7 @@ fn finalize(mut total: MiningResult) -> MiningResult {
 mod tests {
     use super::*;
     use crate::control::Budget;
-    use crate::executor::mine_single_threaded;
+    use crate::executor::{mine_single_threaded, prepare_graph};
     use fm_graph::generators;
     use fm_pattern::Pattern;
     use fm_plan::{compile, compile_multi, CompileOptions};

@@ -29,6 +29,14 @@ pub struct WorkCounters {
     pub cmap_hits: u64,
     /// c-map invalidations on backtrack.
     pub cmap_removes: u64,
+    /// Candidate-generation ops dispatched to the merge kernel by the
+    /// adaptive dispatcher. Zero in `paper_faithful` mode, where every op
+    /// runs the fixed merge datapath without a dispatch decision.
+    pub merge_dispatches: u64,
+    /// Candidate-generation ops dispatched to galloping (binary search).
+    pub gallop_dispatches: u64,
+    /// Candidate-generation ops dispatched to a hub-bitmap probe kernel.
+    pub probe_dispatches: u64,
 }
 
 impl AddAssign for WorkCounters {
@@ -42,6 +50,9 @@ impl AddAssign for WorkCounters {
         self.cmap_queries += o.cmap_queries;
         self.cmap_hits += o.cmap_hits;
         self.cmap_removes += o.cmap_removes;
+        self.merge_dispatches += o.merge_dispatches;
+        self.gallop_dispatches += o.gallop_dispatches;
+        self.probe_dispatches += o.probe_dispatches;
     }
 }
 

@@ -7,8 +7,17 @@
 //! charged by the hardware model, and the software baselines pay for the
 //! same loop in CPU comparisons/branches (§III).
 
+//! Beyond the merge kernels, this module provides galloping (binary
+//! search) and hub-bitmap *probe* kernels, plus the adaptive dispatchers
+//! ([`intersect_adaptive_into`], [`intersect_adaptive_count`],
+//! [`difference_adaptive_into`]) that pick a kernel per operation from
+//! operand sizes and hub membership. Probe kernels charge one
+//! `setop_iterations` per probed element, so the ablation columns stay
+//! comparable across kernels: a probe over `|a|` elements and a merge
+//! that advances `|a| + |b|` cursors are priced in the same unit.
+
 use crate::result::WorkCounters;
-use fm_graph::VertexId;
+use fm_graph::{HubRow, VertexId};
 
 /// Intersection of two strictly-ascending slices, appended to `out`.
 ///
@@ -210,31 +219,326 @@ pub fn bounded_prefix<'a>(
     &s[..s.partition_point(|&x| x < bound)]
 }
 
+/// Counting twin of [`intersect_bounded_into`]: identical iteration and
+/// comparison charging, no materialization.
+pub fn intersect_bounded_count(
+    a: &[VertexId],
+    b: &[VertexId],
+    bound: VertexId,
+    work: &mut WorkCounters,
+) -> u64 {
+    work.setop_invocations += 1;
+    let (mut i, mut j) = (0, 0);
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        if a[i] >= bound {
+            break;
+        }
+        work.comparisons += 1;
+        if b[j] >= bound {
+            break;
+        }
+        work.comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    n
+}
+
+/// Counting twin of [`intersect_galloping_into`]: identical iteration and
+/// comparison charging, no materialization.
+pub fn intersect_galloping_count(a: &[VertexId], b: &[VertexId], work: &mut WorkCounters) -> u64 {
+    work.setop_invocations += 1;
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut lo = 0usize;
+    let mut n = 0;
+    for &x in small {
+        work.setop_iterations += 1;
+        match large[lo..].binary_search(&x) {
+            Ok(pos) => {
+                work.comparisons += (large.len() - lo).max(1).ilog2() as u64 + 1;
+                n += 1;
+                lo += pos + 1;
+            }
+            Err(pos) => {
+                work.comparisons += (large.len() - lo).max(1).ilog2() as u64 + 1;
+                lo += pos;
+            }
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+    n
+}
+
+/// Intersection of `a` with a hub's adjacency bitset: streams `a` and
+/// probes each element. One iteration and one comparison (the word test)
+/// per probed element — O(|a|), independent of the hub's degree.
+pub fn intersect_probe_into(
+    a: &[VertexId],
+    hub: HubRow<'_>,
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    work.setop_invocations += 1;
+    for &x in a {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        if hub.contains(x) {
+            out.push(x);
+        }
+    }
+}
+
+/// Like [`intersect_probe_into`], stopping once streamed elements reach
+/// `bound` (exclusive). The bound check is charged as an executed
+/// comparison, mirroring [`intersect_bounded_into`].
+pub fn intersect_probe_bounded_into(
+    a: &[VertexId],
+    hub: HubRow<'_>,
+    bound: VertexId,
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    work.setop_invocations += 1;
+    for &x in a {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        if x >= bound {
+            break;
+        }
+        work.comparisons += 1;
+        if hub.contains(x) {
+            out.push(x);
+        }
+    }
+}
+
+/// Counting twin of [`intersect_probe_into`].
+pub fn intersect_probe_count(a: &[VertexId], hub: HubRow<'_>, work: &mut WorkCounters) -> u64 {
+    work.setop_invocations += 1;
+    let mut n = 0;
+    for &x in a {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        if hub.contains(x) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Counting twin of [`intersect_probe_bounded_into`].
+pub fn intersect_probe_bounded_count(
+    a: &[VertexId],
+    hub: HubRow<'_>,
+    bound: VertexId,
+    work: &mut WorkCounters,
+) -> u64 {
+    work.setop_invocations += 1;
+    let mut n = 0;
+    for &x in a {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        if x >= bound {
+            break;
+        }
+        work.comparisons += 1;
+        if hub.contains(x) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Difference `a \ N(hub)` via bitmap probes: streams `a`, keeping the
+/// elements whose probe misses.
+pub fn difference_probe_into(
+    a: &[VertexId],
+    hub: HubRow<'_>,
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    work.setop_invocations += 1;
+    for &x in a {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        if !hub.contains(x) {
+            out.push(x);
+        }
+    }
+}
+
+/// Like [`difference_probe_into`], stopping once minuend elements reach
+/// `bound` (exclusive).
+pub fn difference_probe_bounded_into(
+    a: &[VertexId],
+    hub: HubRow<'_>,
+    bound: VertexId,
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    work.setop_invocations += 1;
+    for &x in a {
+        work.setop_iterations += 1;
+        work.comparisons += 1;
+        if x >= bound {
+            break;
+        }
+        work.comparisons += 1;
+        if !hub.contains(x) {
+            out.push(x);
+        }
+    }
+}
+
+/// The kernel tier an adaptive dispatcher picked for one set operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tier {
+    Merge,
+    Gallop,
+    Probe,
+}
+
+/// The shared three-tier dispatch rule. Probe wins whenever `b` is an
+/// indexed hub and at least as long as `a`: the probe streams exactly
+/// `|a|` elements while a merge advances at least `min(|a|,|b|) = |a|`
+/// cursors, so the probe is never charged more iterations, and each probed
+/// element costs one comparison against galloping's ⌈log₂|b|⌉. For a hub
+/// *shorter* than `a` the plain kernels can exhaust `b` early, so the
+/// size-based merge/gallop rule applies instead.
+fn choose_tier(a_len: usize, b_len: usize, gallop_ratio: usize, hub: bool) -> Tier {
+    if hub && b_len >= a_len {
+        return Tier::Probe;
+    }
+    let (small, large) = if a_len <= b_len { (a_len, b_len) } else { (b_len, a_len) };
+    if gallop_ratio > 0 && small.saturating_mul(gallop_ratio) <= large {
+        Tier::Gallop
+    } else {
+        Tier::Merge
+    }
+}
+
 /// Adaptive intersection dispatch: a bounded (or plain) merge by default,
 /// switching to galloping when one input is at least `gallop_ratio` times
-/// smaller than the other (`0` disables galloping). For the galloping
-/// path a vid bound is applied by truncating both inputs up front via
-/// [`bounded_prefix`]. Output and counts are identical across all three
-/// kernels; only the charged work differs.
+/// smaller than the other (`0` disables galloping), and to a bitmap probe
+/// when `hub` carries `b`'s bitset row and `|b| ≥ |a|` (see `choose_tier`
+/// for why that makes the probe never worse on charged iterations). For
+/// the galloping path a vid bound is applied by truncating both inputs up
+/// front via [`bounded_prefix`]. Output and counts are identical across
+/// all three kernels; only the charged work differs. The chosen tier is
+/// recorded in the dispatch counters, so `paper_faithful` runs — which
+/// never call a dispatcher — keep them at zero.
 pub fn intersect_adaptive_into(
     a: &[VertexId],
     b: &[VertexId],
     bound: Option<VertexId>,
     gallop_ratio: usize,
+    hub: Option<HubRow<'_>>,
     out: &mut Vec<VertexId>,
     work: &mut WorkCounters,
 ) {
-    let (small, large) = if a.len() <= b.len() { (a.len(), b.len()) } else { (b.len(), a.len()) };
-    if gallop_ratio > 0 && small.saturating_mul(gallop_ratio) <= large {
-        let (a, b) = match bound {
-            Some(bd) => (bounded_prefix(a, bd, work), bounded_prefix(b, bd, work)),
-            None => (a, b),
-        };
-        intersect_galloping_into(a, b, out, work);
-    } else {
-        match bound {
-            Some(bd) => intersect_bounded_into(a, b, bd, out, work),
-            None => intersect_into(a, b, out, work),
+    match choose_tier(a.len(), b.len(), gallop_ratio, hub.is_some()) {
+        Tier::Probe => {
+            work.probe_dispatches += 1;
+            let row = hub.expect("probe tier requires a hub row");
+            match bound {
+                Some(bd) => intersect_probe_bounded_into(a, row, bd, out, work),
+                None => intersect_probe_into(a, row, out, work),
+            }
+        }
+        Tier::Gallop => {
+            work.gallop_dispatches += 1;
+            let (a, b) = match bound {
+                Some(bd) => (bounded_prefix(a, bd, work), bounded_prefix(b, bd, work)),
+                None => (a, b),
+            };
+            intersect_galloping_into(a, b, out, work);
+        }
+        Tier::Merge => {
+            work.merge_dispatches += 1;
+            match bound {
+                Some(bd) => intersect_bounded_into(a, b, bd, out, work),
+                None => intersect_into(a, b, out, work),
+            }
+        }
+    }
+}
+
+/// Counting twin of [`intersect_adaptive_into`]: same tier rule, same
+/// charging, no materialization — the TC-style count-only hot path.
+pub fn intersect_adaptive_count(
+    a: &[VertexId],
+    b: &[VertexId],
+    bound: Option<VertexId>,
+    gallop_ratio: usize,
+    hub: Option<HubRow<'_>>,
+    work: &mut WorkCounters,
+) -> u64 {
+    match choose_tier(a.len(), b.len(), gallop_ratio, hub.is_some()) {
+        Tier::Probe => {
+            work.probe_dispatches += 1;
+            let row = hub.expect("probe tier requires a hub row");
+            match bound {
+                Some(bd) => intersect_probe_bounded_count(a, row, bd, work),
+                None => intersect_probe_count(a, row, work),
+            }
+        }
+        Tier::Gallop => {
+            work.gallop_dispatches += 1;
+            let (a, b) = match bound {
+                Some(bd) => (bounded_prefix(a, bd, work), bounded_prefix(b, bd, work)),
+                None => (a, b),
+            };
+            intersect_galloping_count(a, b, work)
+        }
+        Tier::Merge => {
+            work.merge_dispatches += 1;
+            match bound {
+                Some(bd) => intersect_bounded_count(a, b, bd, work),
+                None => intersect_count(a, b, work),
+            }
+        }
+    }
+}
+
+/// Adaptive difference dispatch: probes whenever the subtrahend is an
+/// indexed hub (the probe streams `|a|` elements; the merge streams `|a|`
+/// minuend elements *plus* subtrahend cursor advances, so the probe is
+/// never charged more), a bounded (or plain) merge otherwise. Galloping
+/// does not apply: the merge already touches each minuend element once.
+pub fn difference_adaptive_into(
+    a: &[VertexId],
+    b: &[VertexId],
+    bound: Option<VertexId>,
+    hub: Option<HubRow<'_>>,
+    out: &mut Vec<VertexId>,
+    work: &mut WorkCounters,
+) {
+    match hub {
+        Some(row) => {
+            work.probe_dispatches += 1;
+            match bound {
+                Some(bd) => difference_probe_bounded_into(a, row, bd, out, work),
+                None => difference_probe_into(a, row, out, work),
+            }
+        }
+        None => {
+            work.merge_dispatches += 1;
+            match bound {
+                Some(bd) => difference_bounded_into(a, b, bd, out, work),
+                None => difference_into(a, b, out, work),
+            }
         }
     }
 }
@@ -330,8 +634,8 @@ mod tests {
             let mut gallop_out = Vec::new();
             let mut w = WorkCounters::default();
             // ratio 0 forces the merge kernel; a tiny ratio forces gallop.
-            intersect_adaptive_into(&small, &large, bound, 0, &mut merge_out, &mut w);
-            intersect_adaptive_into(&small, &large, bound, 1, &mut gallop_out, &mut w);
+            intersect_adaptive_into(&small, &large, bound, 0, None, &mut merge_out, &mut w);
+            intersect_adaptive_into(&small, &large, bound, 1, None, &mut gallop_out, &mut w);
             assert_eq!(merge_out, gallop_out, "bound {bound:?}");
         }
         // Skew within the ratio dispatches to galloping (|small| iters);
@@ -340,14 +644,145 @@ mod tests {
         let big: Vec<VertexId> = (0..100).map(VertexId).collect();
         let mut out = Vec::new();
         let mut w = WorkCounters::default();
-        intersect_adaptive_into(&one, &big, None, 16, &mut out, &mut w);
+        intersect_adaptive_into(&one, &big, None, 16, None, &mut out, &mut w);
         assert_eq!(out, one);
         assert_eq!(w.setop_iterations, 1, "galloped: one probe for the single element");
+        assert_eq!((w.merge_dispatches, w.gallop_dispatches, w.probe_dispatches), (0, 1, 0));
         let mut out = Vec::new();
         let mut w = WorkCounters::default();
-        intersect_adaptive_into(&one, &big, None, 200, &mut out, &mut w);
+        intersect_adaptive_into(&one, &big, None, 200, None, &mut out, &mut w);
         assert_eq!(out, one);
         assert!(w.setop_iterations > 10, "ratio not met: merge kernel runs");
+        assert_eq!((w.merge_dispatches, w.gallop_dispatches, w.probe_dispatches), (1, 0, 0));
+    }
+
+    /// A star-with-rim graph whose center (vertex 0) is the only hub, for
+    /// probe-kernel tests: 0 is adjacent to every odd vertex in 1..=n.
+    fn hub_fixture(n: u32) -> fm_graph::HubBitmaps {
+        let mut b = fm_graph::GraphBuilder::new();
+        for w in (1..=n).step_by(2) {
+            b = b.edge(0, w);
+        }
+        let g = b.build().unwrap();
+        fm_graph::HubBitmaps::build(&g, 2, 1 << 20)
+    }
+
+    #[test]
+    fn probe_kernels_agree_with_merge_kernels() {
+        let idx = hub_fixture(99);
+        let row = idx.row(VertexId(0)).unwrap();
+        let adj: Vec<VertexId> = (1..=99).step_by(2).map(VertexId).collect();
+        let a: Vec<VertexId> = (0..80).filter(|x| x % 3 == 0).map(VertexId).collect();
+        let mut w = WorkCounters::default();
+
+        let mut merged = Vec::new();
+        intersect_into(&a, &adj, &mut merged, &mut w);
+        let mut probed = Vec::new();
+        let mut pw = WorkCounters::default();
+        intersect_probe_into(&a, row, &mut probed, &mut pw);
+        assert_eq!(probed, merged);
+        // Probe cost is exactly |a| iterations, one comparison each.
+        assert_eq!(pw.setop_iterations, a.len() as u64);
+        assert_eq!(pw.comparisons, a.len() as u64);
+        assert_eq!(intersect_probe_count(&a, row, &mut w), merged.len() as u64);
+
+        let mut merged = Vec::new();
+        difference_into(&a, &adj, &mut merged, &mut w);
+        let mut probed = Vec::new();
+        difference_probe_into(&a, row, &mut probed, &mut w);
+        assert_eq!(probed, merged);
+    }
+
+    #[test]
+    fn bounded_probe_kernels_respect_bound() {
+        let idx = hub_fixture(99);
+        let row = idx.row(VertexId(0)).unwrap();
+        let a: Vec<VertexId> = (1..60).map(VertexId).collect();
+        let bd = VertexId(20);
+        let mut w = WorkCounters::default();
+
+        let mut out = Vec::new();
+        intersect_probe_bounded_into(&a, row, bd, &mut out, &mut w);
+        let expect: Vec<VertexId> = (1..20).step_by(2).map(VertexId).collect();
+        assert_eq!(out, expect);
+        // 19 surviving elements plus the element that trips the bound.
+        assert_eq!(w.setop_iterations, 20);
+        let mut w2 = WorkCounters::default();
+        assert_eq!(
+            intersect_probe_bounded_count(&a, row, bd, &mut w2),
+            expect.len() as u64,
+            "count twin disagrees"
+        );
+        assert_eq!(w2.setop_iterations, w.setop_iterations);
+        assert_eq!(w2.comparisons, w.comparisons);
+
+        let mut out = Vec::new();
+        difference_probe_bounded_into(&a, row, bd, &mut out, &mut w);
+        let expect: Vec<VertexId> = (2..20).step_by(2).map(VertexId).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn adaptive_probe_tier_requires_hub_at_least_as_long() {
+        let idx = hub_fixture(99);
+        let row = idx.row(VertexId(0)).unwrap();
+        let adj: Vec<VertexId> = (1..=99).step_by(2).map(VertexId).collect();
+        // |a| <= |adj|: the probe tier fires.
+        let a: Vec<VertexId> = (0..30).map(VertexId).collect();
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_adaptive_into(&a, &adj, None, 16, Some(row), &mut out, &mut w);
+        assert_eq!(w.probe_dispatches, 1);
+        assert_eq!(w.setop_iterations, a.len() as u64);
+        let expect: Vec<VertexId> = (1..30).step_by(2).map(VertexId).collect();
+        assert_eq!(out, expect);
+        // |a| > |adj|: falls back to the size rule even with a hub row.
+        let long: Vec<VertexId> = (0..200).map(VertexId).collect();
+        let mut out = Vec::new();
+        let mut w = WorkCounters::default();
+        intersect_adaptive_into(&long, &adj, None, 16, Some(row), &mut out, &mut w);
+        assert_eq!(w.probe_dispatches, 0);
+        assert_eq!(w.merge_dispatches + w.gallop_dispatches, 1);
+    }
+
+    #[test]
+    fn adaptive_count_matches_adaptive_into_work() {
+        let idx = hub_fixture(99);
+        let row = idx.row(VertexId(0)).unwrap();
+        let adj: Vec<VertexId> = (1..=99).step_by(2).map(VertexId).collect();
+        let a: Vec<VertexId> = (0..50).filter(|x| x % 4 != 0).map(VertexId).collect();
+        for hub in [None, Some(row)] {
+            for bound in [None, Some(VertexId(33))] {
+                for ratio in [0, 2, 16] {
+                    let mut out = Vec::new();
+                    let mut wi = WorkCounters::default();
+                    intersect_adaptive_into(&a, &adj, bound, ratio, hub, &mut out, &mut wi);
+                    let mut wc = WorkCounters::default();
+                    let n = intersect_adaptive_count(&a, &adj, bound, ratio, hub, &mut wc);
+                    assert_eq!(n, out.len() as u64, "hub {} bound {bound:?}", hub.is_some());
+                    assert_eq!(wi, wc, "work parity: hub {} ratio {ratio}", hub.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_difference_probes_iff_hub() {
+        let idx = hub_fixture(99);
+        let row = idx.row(VertexId(0)).unwrap();
+        let adj: Vec<VertexId> = (1..=99).step_by(2).map(VertexId).collect();
+        let a: Vec<VertexId> = (0..40).map(VertexId).collect();
+        for bound in [None, Some(VertexId(25))] {
+            let mut merged = Vec::new();
+            let mut w = WorkCounters::default();
+            difference_adaptive_into(&a, &adj, bound, None, &mut merged, &mut w);
+            assert_eq!((w.merge_dispatches, w.probe_dispatches), (1, 0));
+            let mut probed = Vec::new();
+            let mut w = WorkCounters::default();
+            difference_adaptive_into(&a, &adj, bound, Some(row), &mut probed, &mut w);
+            assert_eq!((w.merge_dispatches, w.probe_dispatches), (0, 1));
+            assert_eq!(probed, merged, "bound {bound:?}");
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   evaluates (see `DESIGN.md` §4 for the substitution rationale).
 //! * [`orientation`] — the degree-based DAG orientation preprocessing the
 //!   FlexMiner compiler applies for k-clique mining (§V-C of the paper).
+//! * [`hub`] — degree-thresholded hub adjacency bitmaps ([`HubBitmaps`]),
+//!   the auxiliary index backing the engine's probe-based set-op kernels.
 //! * [`stats`] — degree statistics used to reproduce Table I.
 //! * [`io`] — plain-text edge-list and binary CSR serialization.
 //!
@@ -43,6 +45,7 @@ pub mod builder;
 pub mod csr;
 pub mod error;
 pub mod generators;
+pub mod hub;
 pub mod io;
 pub mod orientation;
 pub mod stats;
@@ -51,6 +54,7 @@ pub mod vertex;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use error::GraphError;
+pub use hub::{HubBitmaps, HubRow};
 pub use orientation::orient_by_degree;
 pub use stats::GraphStats;
 pub use vertex::VertexId;
