@@ -63,9 +63,26 @@ fn exit_code(status: RunStatus) -> i32 {
 }
 
 /// Reports a partial run on stderr: results on stdout stay machine
-/// readable, the status and fault roster go to the human.
+/// readable, the status and fault/quarantine/straggler rosters go to the
+/// human.
 fn report_status(outcome: &flexminer::MiningOutcome) {
+    if let Some(err) = outcome.checkpoint_error() {
+        eprintln!("warning: checkpointing stopped: {err}");
+    }
+    for s in outcome.stragglers() {
+        eprintln!(
+            "straggler: start vertex {} took {:.3?} (run median {:.3?})",
+            s.vid, s.elapsed, s.median
+        );
+    }
     if outcome.is_complete() {
+        // A retried-then-healed fault leaves a record on a complete run.
+        for f in outcome.faults() {
+            eprintln!(
+                "fault (healed on retry): start vertex {} attempt {}: {}",
+                f.vid, f.attempt, f.payload
+            );
+        }
         return;
     }
     eprintln!(
@@ -74,7 +91,10 @@ fn report_status(outcome: &flexminer::MiningOutcome) {
         outcome.completed_start_vertices().len()
     );
     for f in outcome.faults() {
-        eprintln!("fault: start vertex {}: {}", f.vid, f.payload);
+        eprintln!("fault: start vertex {} attempt {}: {}", f.vid, f.attempt, f.payload);
+    }
+    for f in outcome.quarantined() {
+        eprintln!("quarantined: start vertex {} after {} attempt(s)", f.vid, f.attempt + 1);
     }
 }
 
@@ -91,6 +111,8 @@ commands:
         [--induced] [--threads N] [--no-symmetry]
         [--timeout SECS] [--budget SETOP_ITERS]
         [--no-hub-bitmap] [--hub-threshold DEGREE] [--hub-budget BYTES]
+        [--checkpoint PATH] [--checkpoint-interval N|SECSs] [--resume PATH]
+        [--max-retries K]
   sim   <pattern> --graph <input> [flags]   mine on the simulated accelerator
         [--pes N] [--cmap BYTES|unlimited|none] [--energy] [--induced]
         [--watchdog CYCLES]
@@ -103,9 +125,22 @@ inputs:
   powerlaw (n,m,closure,seed), pa (n,m,seed), er (n,p,seed),
   complete (n), caveman (communities,size,bridges,seed)
 
+durability (count only):
+  --checkpoint PATH            write periodic atomic snapshots to PATH
+  --checkpoint-interval N|Ns   cadence: N = every N completed tasks,
+                               Ns (trailing 's') = every N seconds
+                               (default: 256 tasks or 10s)
+  --resume PATH                continue from a snapshot; completed start
+                               vertices are skipped, final counts are
+                               bit-identical to an uninterrupted run, and a
+                               graph/plan/config mismatch is a hard error
+  --max-retries K              retry a faulted task K times before
+                               quarantining it (default 0)
+
 exit codes:
-  0 complete   1 error   2 usage   3 deadline exceeded   4 budget
-  exhausted   5 cancelled   6 degraded (task faults)   7 watchdog tripped;
+  0 complete   1 error (incl. checkpoint mismatch)   2 usage   3 deadline
+  exceeded   4 budget exhausted   5 cancelled   6 degraded (tasks
+  quarantined after exhausting retries)   7 watchdog tripped;
   codes 3-6 still print exact counts for the completed start vertices"
     );
     exit(if msg.is_empty() { 0 } else { 2 });
@@ -197,6 +232,9 @@ fn cmd_count(args: &[String], _induced_default: bool) -> CliResult {
     if let Some(v) = flag_value(args, "--hub-budget") {
         cfg.hub_memory_budget = v.parse().map_err(|e| format!("bad --hub-budget: {e}"))?;
     }
+    if let Some(v) = flag_value(args, "--max-retries") {
+        cfg.max_retries = v.parse().map_err(|e| format!("bad --max-retries: {e}"))?;
+    }
     let mut job = Miner::new(&g).pattern(pattern).backend(Backend::Software(cfg));
     if has_flag(args, "--induced") {
         job = job.induced(true);
@@ -207,6 +245,30 @@ fn cmd_count(args: &[String], _induced_default: bool) -> CliResult {
     if let Some(v) = flag_value(args, "--budget") {
         let iters: u64 = v.parse().map_err(|e| format!("bad --budget: {e}"))?;
         job = job.budget(Budget::with_max_setop_iterations(iters));
+    }
+    if let Some(path) = flag_value(args, "--checkpoint") {
+        job = job.checkpoint_to(path);
+        if let Some(v) = flag_value(args, "--checkpoint-interval") {
+            // A bare integer counts completed tasks; a trailing 's' makes
+            // it a wall-clock period in seconds.
+            job = match v.strip_suffix('s') {
+                Some(secs) => {
+                    let secs: f64 =
+                        secs.parse().map_err(|e| format!("bad --checkpoint-interval: {e}"))?;
+                    job.checkpoint_interval(None, Some(Duration::from_secs_f64(secs)))
+                }
+                None => {
+                    let tasks: u64 =
+                        v.parse().map_err(|e| format!("bad --checkpoint-interval: {e}"))?;
+                    job.checkpoint_interval(Some(tasks), None)
+                }
+            };
+        }
+    } else if has_flag(args, "--checkpoint-interval") {
+        return Err("--checkpoint-interval requires --checkpoint PATH".into());
+    }
+    if let Some(path) = flag_value(args, "--resume") {
+        job = job.resume_from(path);
     }
     let timeout = flag_value(args, "--timeout")
         .map(|v| v.parse::<f64>().map_err(|e| format!("bad --timeout: {e}")))

@@ -55,7 +55,10 @@ pub use fm_pattern as pattern;
 pub use fm_plan as plan;
 pub use fm_sim as sim;
 
-pub use fm_engine::{Budget, CancelToken, EngineConfig, Fault, RunStatus};
+pub use fm_engine::{
+    Budget, CancelToken, Checkpoint, CheckpointConfig, CheckpointError, EngineConfig, Fault,
+    GraphFingerprint, RunStatus, Straggler,
+};
 pub use fm_graph::{CsrGraph, GraphBuilder, GraphError, VertexId};
 pub use fm_pattern::{motifs, Pattern, PatternError};
 pub use fm_plan::{CompileOptions, ExecutionPlan};

@@ -1,11 +1,15 @@
 //! The mining job builder.
 
-use fm_engine::{Budget, CancelToken, EngineConfig, Fault, MiningResult, RunStatus, WorkCounters};
+use fm_engine::{
+    Budget, CancelToken, CheckpointConfig, CheckpointError, EngineConfig, Fault, MiningResult,
+    Recovery, RunStatus, Straggler, WorkCounters,
+};
 use fm_graph::CsrGraph;
 use fm_pattern::Pattern;
 use fm_plan::{compile_multi, CompileOptions, ExecutionPlan};
 use fm_sim::{simulate, SimConfig, SimReport, WatchdogDump};
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Combines two budgets: each limit is the tighter of the pair.
@@ -59,9 +63,10 @@ pub enum MineError {
     /// Vertex-induced multi-pattern jobs need patterns of one size
     /// (k-motif counting); mixed sizes are ambiguous.
     MixedInducedSizes,
-    /// A deadline, budget, or cancel token was supplied for the
-    /// accelerator backend, whose only supported control is the watchdog
-    /// cycle cap ([`SimConfig::watchdog_cycles`]).
+    /// A deadline, budget, cancel token, checkpoint path, or resume
+    /// snapshot was supplied for the accelerator backend, whose only
+    /// supported control is the watchdog cycle cap
+    /// ([`SimConfig::watchdog_cycles`]).
     ControlUnsupported,
     /// The accelerator watchdog tripped before the simulation drained;
     /// per-PE FSM state is attached for diagnosis.
@@ -74,6 +79,10 @@ pub enum MineError {
         /// How the run actually stopped.
         status: RunStatus,
     },
+    /// A resume checkpoint could not be loaded, or records a different
+    /// graph/plan/config than this job (the engine refuses to produce a
+    /// silently wrong count — see [`fm_engine::Checkpoint::validate`]).
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for MineError {
@@ -86,8 +95,8 @@ impl fmt::Display for MineError {
             MineError::ControlUnsupported => {
                 write!(
                     f,
-                    "the accelerator backend does not support deadlines, budgets, or \
-                     cancellation; use the watchdog cycle cap instead"
+                    "the accelerator backend does not support deadlines, budgets, \
+                     cancellation, or checkpoint/resume; use the watchdog cycle cap instead"
                 )
             }
             MineError::WatchdogTripped(dump) => {
@@ -105,6 +114,7 @@ impl fmt::Display for MineError {
                      symmetry breaking"
                 )
             }
+            MineError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -130,6 +140,9 @@ pub struct MiningOutcome {
     status: RunStatus,
     completed: Vec<u32>,
     faults: Vec<Fault>,
+    quarantined: Vec<Fault>,
+    stragglers: Vec<Straggler>,
+    checkpoint_error: Option<String>,
 }
 
 impl MiningOutcome {
@@ -150,10 +163,32 @@ impl MiningOutcome {
         &self.completed
     }
 
-    /// Start vertices whose tasks panicked and were isolated (software
-    /// backend only; always empty when [`is_complete`](Self::is_complete)).
+    /// Every isolated task panic, one record per attempt (software backend
+    /// only). Non-empty on a *complete* run only when a transient fault
+    /// healed on a retry (see [`Miner::max_retries`]).
     pub fn faults(&self) -> &[Fault] {
         &self.faults
+    }
+
+    /// Start vertices abandoned after exhausting the retry budget
+    /// (software backend only). Non-empty iff the run is
+    /// [`RunStatus::Degraded`] (or a harsher stop masked it).
+    pub fn quarantined(&self) -> &[Fault] {
+        &self.quarantined
+    }
+
+    /// Tasks that ran far slower than the run's median task — the
+    /// load-imbalance observability report (software backend only; see
+    /// [`fm_engine::Straggler`]).
+    pub fn stragglers(&self) -> &[Straggler] {
+        &self.stragglers
+    }
+
+    /// Last periodic checkpoint-write failure, if any. Mining never stops
+    /// because durability did, but a resume may replay more work than the
+    /// configured interval promised.
+    pub fn checkpoint_error(&self) -> Option<&str> {
+        self.checkpoint_error.as_deref()
     }
     /// Unique embedding counts, in pattern order.
     pub fn counts(&self) -> Vec<u64> {
@@ -217,6 +252,8 @@ pub struct Miner<'g> {
     backend: Backend,
     budget: Budget,
     cancel: Option<CancelToken>,
+    checkpoint: Option<CheckpointConfig>,
+    resume: Option<PathBuf>,
 }
 
 impl<'g> Miner<'g> {
@@ -230,6 +267,8 @@ impl<'g> Miner<'g> {
             backend: Backend::default(),
             budget: Budget::unlimited(),
             cancel: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 
@@ -299,6 +338,66 @@ impl<'g> Miner<'g> {
         if let Backend::Software(cfg) = &mut self.backend {
             cfg.hub_degree_threshold = degree_threshold;
             cfg.hub_memory_budget = memory_budget;
+        }
+        self
+    }
+
+    /// Writes periodic durable [`Checkpoint`](fm_engine::Checkpoint)
+    /// snapshots to `path` (software backend only; the accelerator backend
+    /// rejects it with [`MineError::ControlUnsupported`]). The default
+    /// cadence — every 256 completed start-vertex tasks or 10 seconds,
+    /// whichever fires first — can be changed with
+    /// [`checkpoint_interval`](Self::checkpoint_interval). Snapshots are
+    /// written atomically (temp file + fsync + rename), so an interrupted
+    /// job can always [`resume_from`](Self::resume_from) the last one.
+    #[must_use]
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(CheckpointConfig::new(path));
+        self
+    }
+
+    /// Adjusts the checkpoint cadence set by
+    /// [`checkpoint_to`](Self::checkpoint_to): write after `every_tasks`
+    /// completed tasks (`None`/0 disables the count trigger) and/or after
+    /// `every_wall` of wall-clock time (`None` disables). No-op unless a
+    /// checkpoint path is set.
+    #[must_use]
+    pub fn checkpoint_interval(
+        mut self,
+        every_tasks: Option<u64>,
+        every_wall: Option<Duration>,
+    ) -> Self {
+        if let Some(ckpt) = &mut self.checkpoint {
+            ckpt.every_tasks = every_tasks.unwrap_or(0);
+            ckpt.every_wall = every_wall;
+        }
+        self
+    }
+
+    /// Resumes from the checkpoint file at `path` (software backend only):
+    /// already-completed start vertices are skipped and their contribution
+    /// seeded from the snapshot, so the final counts are bit-identical to
+    /// an uninterrupted run. The snapshot must record the same graph,
+    /// plan, and count-relevant engine knobs — a mismatch fails with
+    /// [`MineError::Checkpoint`], never a wrong count. Combine with
+    /// [`checkpoint_to`](Self::checkpoint_to) (typically the same path) so
+    /// the resumed run keeps checkpointing.
+    #[must_use]
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Retries a faulted start-vertex task up to `k` times before
+    /// quarantining it (software backend only; see
+    /// [`EngineConfig::max_retries`]). With the default `0` a single fault
+    /// degrades the run; with retries a transient fault self-heals and the
+    /// run stays [`RunStatus::Complete`], the attempt still recorded in
+    /// [`MiningOutcome::faults`].
+    #[must_use]
+    pub fn max_retries(mut self, k: u32) -> Self {
+        if let Backend::Software(cfg) = &mut self.backend {
+            cfg.max_retries = k;
         }
         self
     }
@@ -386,13 +485,34 @@ impl<'g> Miner<'g> {
                 Backend::Software(cfg) => {
                     let mut cfg = *cfg;
                     cfg.budget = merge_budgets(cfg.budget, self.budget);
-                    let result =
-                        fm_engine::mine_with_cancel(self.graph, &plan, &cfg, self.cancel.as_ref());
+                    let cancel = self.cancel.as_ref();
+                    let result = if let Some(path) = &self.resume {
+                        fm_engine::mine_resumed(
+                            self.graph,
+                            &plan,
+                            &cfg,
+                            cancel,
+                            path,
+                            self.checkpoint.clone(),
+                        )
+                        .map_err(MineError::Checkpoint)?
+                    } else if self.checkpoint.is_some() {
+                        let recovery =
+                            Recovery { checkpoint: self.checkpoint.clone(), resume: None };
+                        fm_engine::mine_with_recovery(self.graph, &plan, &cfg, cancel, recovery)
+                            .map_err(MineError::Checkpoint)?
+                    } else {
+                        fm_engine::mine_with_cancel(self.graph, &plan, &cfg, cancel)
+                    };
                     let work = result.work;
                     (result, Some(work), None)
                 }
                 Backend::Accelerator(cfg) => {
-                    if self.budget.is_limited() || self.cancel.is_some() {
+                    if self.budget.is_limited()
+                        || self.cancel.is_some()
+                        || self.checkpoint.is_some()
+                        || self.resume.is_some()
+                    {
                         return Err(MineError::ControlUnsupported);
                     }
                     let report = simulate(self.graph, &plan, cfg);
@@ -422,6 +542,9 @@ impl<'g> Miner<'g> {
             status: result.status,
             completed: result.completed,
             faults: result.faults,
+            quarantined: result.quarantined,
+            stragglers: result.stragglers,
+            checkpoint_error: result.checkpoint_error,
         })
     }
 

@@ -71,3 +71,101 @@ fn bad_flag_values_exit_one() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad --timeout"));
 }
+
+/// A unique checkpoint path per call, so parallel test binaries and reruns
+/// never collide on stale files.
+fn temp_ckpt(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fm-cli-ckpt-{}-{tag}-{n}.bin", std::process::id()))
+}
+
+/// The durability loop end to end through the binary: a budget-cut run
+/// writes a snapshot (exit 4), and `--resume` finishes the job with the
+/// exact same stdout as an uninterrupted run (exit 0).
+#[test]
+fn interrupted_count_resumes_to_the_exact_full_total() {
+    let path = temp_ckpt("resume");
+    let ckpt = path.to_str().unwrap();
+    let full = flexminer(&["count", "4-cycle", "--graph", GRAPH]);
+    assert_eq!(full.status.code(), Some(0));
+
+    let cut = flexminer(&[
+        "count",
+        "4-cycle",
+        "--graph",
+        GRAPH,
+        "--budget",
+        "500",
+        "--checkpoint",
+        ckpt,
+        "--checkpoint-interval",
+        "1",
+    ]);
+    assert_eq!(cut.status.code(), Some(4), "stderr: {}", String::from_utf8_lossy(&cut.stderr));
+    assert!(path.exists(), "budget-cut run must leave a snapshot behind");
+
+    let resumed = flexminer(&["count", "4-cycle", "--graph", GRAPH, "--resume", ckpt]);
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(resumed.stdout, full.stdout, "resumed totals must be bit-identical");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Resuming against a different graph is a structured refusal (exit 1
+/// with the fingerprint message), never a silently wrong count.
+#[test]
+fn resume_against_a_different_graph_exits_one() {
+    let path = temp_ckpt("mismatch");
+    let ckpt = path.to_str().unwrap();
+    let seed = flexminer(&[
+        "count",
+        "triangle",
+        "--graph",
+        GRAPH,
+        "--checkpoint",
+        ckpt,
+        "--checkpoint-interval",
+        "64",
+    ]);
+    assert_eq!(seed.status.code(), Some(0));
+    let out =
+        flexminer(&["count", "triangle", "--graph", "gen:er,n=60,p=0.1,seed=2", "--resume", ckpt]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("different graph"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A missing snapshot is an IO refusal, and flag misuse is caught before
+/// any mining starts.
+#[test]
+fn durability_flag_misuse_exits_one() {
+    let missing = temp_ckpt("missing");
+    let out =
+        flexminer(&["count", "triangle", "--graph", GRAPH, "--resume", missing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checkpoint io"));
+
+    let out = flexminer(&["count", "triangle", "--graph", GRAPH, "--checkpoint-interval", "8"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --checkpoint"));
+
+    let out = flexminer(&["count", "triangle", "--graph", GRAPH, "--max-retries", "many"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --max-retries"));
+}
+
+/// `--max-retries` parses and a healthy run stays exit 0 (the retry knob
+/// only matters when faults fire).
+#[test]
+fn max_retries_on_a_healthy_run_stays_complete() {
+    let out = flexminer(&["count", "triangle", "--graph", GRAPH, "--max-retries", "3"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("triangle: "));
+}

@@ -24,7 +24,7 @@
 //! result over a known subset of the search roots.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A cheap, shareable cancellation handle.
@@ -135,6 +135,11 @@ pub(crate) struct Monitor<'t> {
     max_iters: Option<u64>,
     /// Set-op iterations published by all workers so far.
     spent_iters: AtomicU64,
+    /// Per-task elapsed times `(vid, duration)`, published in worker-sized
+    /// batches for straggler detection. `None` when tracking is disabled
+    /// (`straggler_ratio == 0`), so untracked runs take no per-task
+    /// timestamps and no lock.
+    task_times: Option<Mutex<Vec<(u32, Duration)>>>,
 }
 
 impl<'t> Monitor<'t> {
@@ -144,7 +149,35 @@ impl<'t> Monitor<'t> {
             deadline: budget.deadline,
             max_iters: budget.max_setop_iterations,
             spent_iters: AtomicU64::new(0),
+            task_times: None,
         }
+    }
+
+    /// Turns on per-task elapsed-time tracking (before the monitor is
+    /// shared with workers).
+    pub(crate) fn enable_timing(&mut self) {
+        self.task_times = Some(Mutex::new(Vec::new()));
+    }
+
+    /// Whether workers should time their tasks.
+    pub(crate) fn timing_enabled(&self) -> bool {
+        self.task_times.is_some()
+    }
+
+    /// Publishes one worker's batch of task times (one lock per worker,
+    /// not per task).
+    pub(crate) fn record_times(&self, times: Vec<(u32, Duration)>) {
+        if let Some(shared) = &self.task_times {
+            shared.lock().expect("task-time lock poisoned").extend(times);
+        }
+    }
+
+    /// Takes the accumulated task times (driver-side, after the join).
+    pub(crate) fn take_times(&mut self) -> Vec<(u32, Duration)> {
+        self.task_times
+            .take()
+            .map(|m| m.into_inner().expect("task-time lock poisoned"))
+            .unwrap_or_default()
     }
 
     /// Publishes `iters` newly consumed set-op iterations.

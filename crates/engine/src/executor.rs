@@ -132,8 +132,12 @@ struct State {
     /// [`Executor::run_vertex_isolated`]); untracked fast-path runs leave
     /// this empty.
     completed: Vec<u32>,
-    /// Start vertices whose tasks panicked and were rolled back.
+    /// Start vertices whose tasks panicked and were rolled back (one
+    /// record per attempt).
     faults: Vec<Fault>,
+    /// Start vertices abandoned after exhausting the configured retries
+    /// (one record per vertex: its final failed attempt).
+    quarantined: Vec<Fault>,
 }
 
 impl State {
@@ -151,6 +155,7 @@ impl State {
             matches: None,
             completed: Vec::new(),
             faults: Vec::new(),
+            quarantined: Vec::new(),
         }
     }
 }
@@ -241,29 +246,46 @@ impl<'g> Executor<'g> {
         );
     }
 
-    /// Runs the subtree of `v` inside a panic boundary, recording the
-    /// outcome instead of unwinding further.
+    /// Runs the subtree of `v` inside a panic boundary, retrying up to
+    /// [`EngineConfig::max_retries`] times before quarantining, and
+    /// recording the outcome instead of unwinding further.
     ///
-    /// On success `v` joins the result's `completed` list. If the task
-    /// panics, *all* of its effects are rolled back — counts and work
-    /// counters are restored to their pre-task snapshot and the embedding
-    /// stack, c-map, and insertion logs are reset — so a poisoned start
-    /// vertex contributes exactly nothing; the panic payload is recorded
-    /// as a [`Fault`]. This is the FlexMiner analogue of the c-map's own
-    /// graceful-degradation precedent (overflow falls back to SIU/SDU,
-    /// §IV-C): one bad task degrades the run, never the job.
+    /// On success `v` joins the result's `completed` list — including
+    /// success on a retry, which leaves the failed attempts in the fault
+    /// roster but does *not* degrade the run (transient faults self-heal).
+    /// Every panicking attempt rolls back *all* of its effects — counts
+    /// and work counters are restored to their pre-task snapshot and the
+    /// embedding stack, c-map, and insertion logs are reset — so a
+    /// poisoned attempt contributes exactly nothing, and a retry starts
+    /// from the same state the first attempt saw; the panic payload is
+    /// recorded as a [`Fault`] tagged with the attempt index. A vertex
+    /// that exhausts its retries is moved to the quarantine roster, which
+    /// is what makes the run [`RunStatus::Degraded`]. This is the
+    /// FlexMiner analogue of the c-map's own graceful-degradation
+    /// precedent (overflow falls back to SIU/SDU, §IV-C): one bad task
+    /// degrades the run, never the job.
     ///
-    /// Returns whether the task completed without panicking.
+    /// Returns whether the task (eventually) completed.
     pub fn run_vertex_isolated(&mut self, v: VertexId) -> bool {
+        for attempt in 0..=self.cfg.max_retries {
+            if self.run_vertex_attempt(v, attempt) {
+                self.state.completed.push(v.0);
+                return true;
+            }
+        }
+        let last = self.state.faults.last().cloned().expect("a failed attempt records a fault");
+        self.state.quarantined.push(last);
+        false
+    }
+
+    /// One isolated attempt: panic boundary plus full rollback.
+    fn run_vertex_attempt(&mut self, v: VertexId, attempt: u32) -> bool {
         let counts_snapshot = self.state.counts.clone();
         let work_snapshot = self.state.work;
         let matches_snapshot = self.state.matches.as_ref().map(Vec::len);
         let outcome = catch_unwind(AssertUnwindSafe(|| self.run_vertex(v)));
         match outcome {
-            Ok(()) => {
-                self.state.completed.push(v.0);
-                true
-            }
+            Ok(()) => true,
             Err(payload) => {
                 self.state.counts = counts_snapshot;
                 self.state.work = work_snapshot;
@@ -277,7 +299,11 @@ impl<'g> Executor<'g> {
                 for ins in &mut self.state.inserted {
                     ins.clear();
                 }
-                self.state.faults.push(Fault { vid: v.0, payload: payload_string(&*payload) });
+                self.state.faults.push(Fault {
+                    vid: v.0,
+                    attempt,
+                    payload: payload_string(&*payload),
+                });
                 false
             }
         }
@@ -295,19 +321,45 @@ impl<'g> Executor<'g> {
         self.state.work.setop_iterations
     }
 
+    /// Per-pattern counts accumulated so far (checkpoint delta snapshots).
+    pub fn counts_so_far(&self) -> &[u64] {
+        &self.state.counts
+    }
+
+    /// Work counters accumulated so far.
+    pub fn work_so_far(&self) -> WorkCounters {
+        self.state.work
+    }
+
+    /// Fault attempts recorded so far, in occurrence order.
+    pub fn faults_so_far(&self) -> &[Fault] {
+        &self.state.faults
+    }
+
+    /// Quarantined start vertices so far, in occurrence order.
+    pub fn quarantined_so_far(&self) -> &[Fault] {
+        &self.state.quarantined
+    }
+
     /// Consumes the executor and returns counts and work counters. The
-    /// status is [`RunStatus::Degraded`] if any isolated task faulted,
-    /// [`RunStatus::Complete`] otherwise; drivers that stopped early
-    /// override it with the stop reason.
+    /// status is [`RunStatus::Degraded`] if any start vertex exhausted its
+    /// retries and was quarantined (a fault that healed on a retry does
+    /// not degrade), [`RunStatus::Complete`] otherwise; drivers that
+    /// stopped early override it with the stop reason.
     pub fn finish(self) -> MiningResult {
-        let status =
-            if self.state.faults.is_empty() { RunStatus::Complete } else { RunStatus::Degraded };
+        let status = if self.state.quarantined.is_empty() {
+            RunStatus::Complete
+        } else {
+            RunStatus::Degraded
+        };
         MiningResult {
             counts: self.state.counts,
             work: self.state.work,
             status,
             completed: self.state.completed,
             faults: self.state.faults,
+            quarantined: self.state.quarantined,
+            ..MiningResult::default()
         }
     }
 

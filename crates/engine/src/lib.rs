@@ -41,6 +41,7 @@
 //! assert_eq!(result.counts, vec![10]); // C(5,3) triangles in K5
 //! ```
 
+pub mod checkpoint;
 pub mod cmap;
 pub mod control;
 pub mod executor;
@@ -62,10 +63,17 @@ macro_rules! fail_point {
 }
 pub(crate) use fail_point;
 
+pub use checkpoint::{
+    config_fingerprint, plan_fingerprint, Checkpoint, CheckpointConfig, CheckpointError,
+    CompletedSet, GraphFingerprint,
+};
 pub use control::{Budget, CancelToken};
 pub use executor::{mine_single_threaded, prepare, Executor, PreparedGraph};
-pub use parallel::{mine, mine_prepared, mine_prepared_with_cancel, mine_with_cancel};
-pub use result::{Fault, MiningResult, RunStatus, WorkCounters};
+pub use parallel::{
+    mine, mine_prepared, mine_prepared_with_cancel, mine_resumed, mine_with_cancel,
+    mine_with_recovery, Recovery,
+};
+pub use result::{Fault, MiningResult, RunStatus, Straggler, WorkCounters};
 
 /// Configuration of the software mining engines.
 ///
@@ -82,6 +90,8 @@ pub use result::{Fault, MiningResult, RunStatus, WorkCounters};
 /// | `gallop_ratio`  | 16      | ignored            | any value; `0` disables galloping |
 /// | `hub_bitmap`    | on      | ignored (no probes)| composes with every other knob; inert when no vertex reaches `hub_degree_threshold` or `hub_memory_budget` is too tight |
 /// | `degree_sched`  | on      | on                 | only effective with `threads > 1`; counts and aggregate work are order-independent |
+/// | `max_retries`   | 0       | same               | count-irrelevant (a retried task contributes exactly once); excluded from the checkpoint config fingerprint, so a resume may change it |
+/// | `straggler_*`   | 8 / 10ms| same               | observability only; never perturbs counts, work, or scheduling |
 ///
 /// `paper_faithful` pins candidate generation to unbounded merges and
 /// ignores `gallop_ratio` and `hub_bitmap` entirely (no dispatcher runs,
@@ -144,6 +154,24 @@ pub struct EngineConfig {
     /// [`Budget`] and [`MiningResult::status`](result::MiningResult::status)
     /// for the partial-result semantics when a limit fires.
     pub budget: Budget,
+    /// How many times a faulted start-vertex task is retried (in the same
+    /// worker, immediately) before being quarantined. `0` — the default —
+    /// quarantines on the first fault, preserving the PR 2 semantics.
+    /// [`RunStatus::Degraded`] now means "non-empty quarantine after
+    /// retries": a task that faults but succeeds on a retry does *not*
+    /// degrade the run (the fault is still recorded in
+    /// [`MiningResult::faults`](result::MiningResult::faults)).
+    pub max_retries: u32,
+    /// Straggler surfacing: a completed task whose elapsed time is at
+    /// least `straggler_ratio ×` the running median (and at least
+    /// [`straggler_min_task`](Self::straggler_min_task)) is reported in
+    /// [`MiningResult::stragglers`](result::MiningResult::stragglers).
+    /// `0` disables tracking entirely (no per-task timing overhead).
+    pub straggler_ratio: u32,
+    /// Noise floor for straggler detection: tasks faster than this are
+    /// never flagged, however small the median — microsecond-scale jitter
+    /// on tiny inputs would otherwise flood the report.
+    pub straggler_min_task: std::time::Duration,
 }
 
 impl Default for EngineConfig {
@@ -168,6 +196,9 @@ impl Default for EngineConfig {
             hub_memory_budget: 64 << 20,
             degree_sched: true,
             budget: Budget::unlimited(),
+            max_retries: 0,
+            straggler_ratio: 8,
+            straggler_min_task: std::time::Duration::from_millis(10),
         }
     }
 }

@@ -15,13 +15,18 @@
 //! [`MiningResult`] reports exact counts for the start vertices actually
 //! finished, tagged with the appropriate [`RunStatus`].
 
+use crate::checkpoint::{
+    Checkpoint, CheckpointConfig, CheckpointError, CheckpointSink, CompletedSet,
+};
 use crate::control::{CancelToken, Monitor, StopKind};
 use crate::executor::{payload_string, prepare, Executor, PreparedGraph};
-use crate::result::{Fault, MiningResult, RunStatus};
+use crate::result::{detect_stragglers, Fault, MiningResult, RunStatus, WorkCounters};
 use crate::EngineConfig;
 use fm_graph::{CsrGraph, VertexId};
 use fm_plan::ExecutionPlan;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Mines `plan` over `graph` with the configured number of worker threads,
 /// returning aggregated counts and work counters.
@@ -84,107 +89,290 @@ pub fn mine_prepared_with_cancel(
     cfg: &EngineConfig,
     cancel: Option<&CancelToken>,
 ) -> MiningResult {
-    let n = g.num_vertices() as u32;
-    let monitor = Monitor::new(cancel, cfg.budget);
-    if cfg.threads <= 1 {
-        let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
-        let stop = drive(&mut ex, &monitor, (0..n).map(VertexId));
-        return finalize(finish_worker(ex, stop));
-    }
-    // Degree-descending start-vertex order: the hub subtrees dominate the
-    // critical path on power-law inputs, so scheduling them first keeps
-    // them off the tail of the dynamic schedule. Counts and aggregate work
-    // counters are order-independent. Ties break by ascending vid (stable
-    // sort), keeping the schedule deterministic.
-    let order: Option<Vec<u32>> = if cfg.degree_sched {
-        let mut order: Vec<u32> = (0..n).collect();
-        order.sort_by_key(|&v| std::cmp::Reverse(g.degree(VertexId(v))));
-        Some(order)
-    } else {
-        None
-    };
-    let cursor = AtomicUsize::new(0);
-    let chunk = cfg.chunk_size.max(1);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..cfg.threads)
-            .map(|_| {
-                let cursor = &cursor;
-                let order = order.as_deref();
-                let monitor = &monitor;
-                scope.spawn(move || {
-                    let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
-                    let mut stop = None;
-                    while stop.is_none() {
-                        // Claim the next chunk with a check-then-advance
-                        // CAS loop rather than an unconditional fetch_add:
-                        // once the cursor reaches `n`, workers exit without
-                        // pushing it further, so a drained job leaves the
-                        // cursor at a deterministic value instead of
-                        // overshooting by up to `threads * chunk`.
-                        let lo = loop {
-                            let cur = cursor.load(Ordering::Relaxed);
-                            if cur >= n as usize {
-                                break None;
-                            }
-                            match cursor.compare_exchange_weak(
-                                cur,
-                                cur + chunk,
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            ) {
-                                Ok(_) => break Some(cur),
-                                Err(_) => continue,
-                            }
-                        };
-                        let Some(lo) = lo else { break };
-                        let hi = (lo + chunk).min(n as usize);
-                        let vids = (lo..hi).map(|i| match order {
-                            Some(order) => VertexId(order[i]),
-                            None => VertexId(i as u32),
-                        });
-                        stop = drive(&mut ex, monitor, vids);
-                    }
-                    finish_worker(ex, stop)
-                })
-            })
-            .collect();
-        let mut total = MiningResult::empty(plan.patterns.len());
-        for h in handles {
-            match h.join() {
-                Ok(r) => total.merge(&r),
-                // Per-task panics are already isolated inside the worker;
-                // a panic escaping the worker loop itself (e.g. from an
-                // instrumented scheduling path) degrades the job instead
-                // of aborting it. No start vertex is attributable, so the
-                // fault is recorded against the sentinel vid u32::MAX.
-                Err(payload) => {
-                    total.status = total.status.max(RunStatus::Degraded);
-                    total.faults.push(Fault { vid: u32::MAX, payload: payload_string(&*payload) });
-                }
-            }
-        }
-        finalize(total)
-    })
+    run_with_control(g, plan, cfg, cancel, None, None, None)
 }
 
-/// Runs `vids` through `ex` with per-task isolation and control polling.
-/// Returns the stop condition that ended the batch early, if any.
+/// Durable-recovery options for [`mine_with_recovery`]: periodic
+/// checkpointing, a snapshot to resume from, or both (a resumed run keeps
+/// checkpointing, so a job can be interrupted any number of times).
+#[derive(Default)]
+pub struct Recovery {
+    /// Write periodic [`Checkpoint`] snapshots per this cadence.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Continue from a previously written snapshot: its completed start
+    /// vertices are skipped and their contribution seeded from the
+    /// snapshot, so the final counts are bit-identical to an uninterrupted
+    /// run. The snapshot must validate against the same graph, plan, and
+    /// count-relevant config (see [`Checkpoint::validate`]). Previously
+    /// quarantined vertices are *re-attempted* — a process restart is the
+    /// classic cure for environmental faults — with their fault history
+    /// carried forward.
+    pub resume: Option<Checkpoint>,
+}
+
+/// [`mine`] with durable recovery: periodic checkpoint snapshots written
+/// at start-vertex granularity and/or resumption from an earlier snapshot.
+///
+/// # Errors
+///
+/// [`CheckpointError`] if the resume snapshot does not match this job's
+/// graph, plan, or count-relevant config — a structured refusal, never a
+/// silently wrong count. Periodic *write* failures do not error the run:
+/// mining continues, checkpointing stops, and the failure is reported in
+/// [`MiningResult::checkpoint_error`].
+pub fn mine_with_recovery(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+    cancel: Option<&CancelToken>,
+    recovery: Recovery,
+) -> Result<MiningResult, CheckpointError> {
+    if let Some(snapshot) = &recovery.resume {
+        snapshot.validate(graph, plan, cfg)?;
+    }
+    let prepared = prepare(graph, plan, cfg);
+    let (seed, skip) = match recovery.resume {
+        Some(snapshot) => {
+            let seed = MiningResult {
+                counts: snapshot.counts.clone(),
+                work: snapshot.work,
+                completed: snapshot.completed.to_vids(),
+                // The snapshot's fault history (which already includes the
+                // final attempt of every quarantined vertex) carries
+                // forward; its quarantine list is dropped because those
+                // vertices are about to be re-attempted.
+                faults: snapshot.faults.clone(),
+                ..MiningResult::empty(plan.patterns.len())
+            };
+            let skip = snapshot.completed.clone();
+            let sink_seed = Checkpoint { quarantined: Vec::new(), ..snapshot };
+            (Some((seed, sink_seed)), Some(skip))
+        }
+        None => (None, None),
+    };
+    let (seed, sink_seed) = match seed {
+        Some((seed, sink_seed)) => (Some(seed), sink_seed),
+        None => (None, Checkpoint::empty(graph, plan, cfg, plan.patterns.len())),
+    };
+    let sink = recovery.checkpoint.map(|ckpt| CheckpointSink::new(ckpt, sink_seed));
+    Ok(run_with_control(&prepared, plan, cfg, cancel, skip.as_ref(), sink.as_ref(), seed))
+}
+
+/// Loads the checkpoint at `path`, validates it against this job, and
+/// continues mining from it; `checkpoint` optionally keeps writing fresh
+/// snapshots (typically to the same path), so interrupted runs chain.
+///
+/// # Errors
+///
+/// [`CheckpointError`] if the file cannot be read or parsed
+/// ([`CheckpointError::Io`] / [`BadFormat`](CheckpointError::BadFormat))
+/// or records a different graph/plan/config.
+pub fn mine_resumed(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+    cancel: Option<&CancelToken>,
+    path: &Path,
+    checkpoint: Option<CheckpointConfig>,
+) -> Result<MiningResult, CheckpointError> {
+    let snapshot = Checkpoint::load(path)?;
+    mine_with_recovery(graph, plan, cfg, cancel, Recovery { checkpoint, resume: Some(snapshot) })
+}
+
+/// The shared driver under every entry point: schedules the pending start
+/// vertices over the configured workers, polling control state and
+/// (optionally) publishing per-task progress to a checkpoint sink.
+///
+/// `skip` lists the start vertices already covered by `seed` (a resumed
+/// snapshot's contribution, merged into the final result).
+fn run_with_control(
+    g: &PreparedGraph<'_>,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+    cancel: Option<&CancelToken>,
+    skip: Option<&CompletedSet>,
+    sink: Option<&CheckpointSink>,
+    seed: Option<MiningResult>,
+) -> MiningResult {
+    let n = g.num_vertices() as u32;
+    let mut monitor = Monitor::new(cancel, cfg.budget);
+    if cfg.straggler_ratio > 0 {
+        monitor.enable_timing();
+    }
+    let mut total = if cfg.threads <= 1 {
+        let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
+        let mut times = monitor.timing_enabled().then(Vec::new);
+        let stop = drive(
+            &mut ex,
+            &monitor,
+            (0..n).filter(|&v| !skip.is_some_and(|s| s.contains(v))).map(VertexId),
+            sink,
+            times.as_mut(),
+        );
+        if let Some(times) = times {
+            monitor.record_times(times);
+        }
+        finish_worker(ex, stop)
+    } else {
+        // Pending start vertices in schedule order. Degree-descending: the
+        // hub subtrees dominate the critical path on power-law inputs, so
+        // scheduling them first keeps them off the tail of the dynamic
+        // schedule. Counts and aggregate work counters are
+        // order-independent. Ties break by ascending vid (stable sort),
+        // keeping the schedule deterministic.
+        let mut pending: Vec<u32> =
+            (0..n).filter(|&v| !skip.is_some_and(|s| s.contains(v))).collect();
+        if cfg.degree_sched {
+            pending.sort_by_key(|&v| std::cmp::Reverse(g.degree(VertexId(v))));
+        }
+        let pending = pending;
+        let todo = pending.len();
+        let cursor = AtomicUsize::new(0);
+        let chunk = cfg.chunk_size.max(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let pending = pending.as_slice();
+                    let monitor = &monitor;
+                    scope.spawn(move || {
+                        let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
+                        let mut times = monitor.timing_enabled().then(Vec::new);
+                        let mut stop = None;
+                        while stop.is_none() {
+                            // Claim the next chunk with a check-then-advance
+                            // CAS loop rather than an unconditional fetch_add:
+                            // once the cursor reaches the end, workers exit
+                            // without pushing it further, so a drained job
+                            // leaves the cursor at a deterministic value
+                            // instead of overshooting by up to
+                            // `threads * chunk`.
+                            let lo = loop {
+                                let cur = cursor.load(Ordering::Relaxed);
+                                if cur >= todo {
+                                    break None;
+                                }
+                                match cursor.compare_exchange_weak(
+                                    cur,
+                                    cur + chunk,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break Some(cur),
+                                    Err(_) => continue,
+                                }
+                            };
+                            let Some(lo) = lo else { break };
+                            let hi = (lo + chunk).min(todo);
+                            let vids = pending[lo..hi].iter().map(|&v| VertexId(v));
+                            stop = drive(&mut ex, monitor, vids, sink, times.as_mut());
+                        }
+                        if let Some(times) = times {
+                            monitor.record_times(times);
+                        }
+                        finish_worker(ex, stop)
+                    })
+                })
+                .collect();
+            let mut total = MiningResult::empty(plan.patterns.len());
+            for h in handles {
+                match h.join() {
+                    Ok(r) => total.merge(&r),
+                    // Per-task panics are already isolated inside the
+                    // worker; a panic escaping the worker loop itself (e.g.
+                    // from an instrumented scheduling path) degrades the
+                    // job instead of aborting it. No start vertex is
+                    // attributable, so the fault is recorded against the
+                    // sentinel vid u32::MAX — and quarantined, since
+                    // nothing retried it.
+                    Err(payload) => {
+                        total.status = total.status.max(RunStatus::Degraded);
+                        let fault =
+                            Fault { vid: u32::MAX, attempt: 0, payload: payload_string(&*payload) };
+                        total.faults.push(fault.clone());
+                        total.quarantined.push(fault);
+                    }
+                }
+            }
+            total
+        })
+    };
+    if let Some(seed) = seed {
+        total.merge(&seed);
+    }
+    let mut times = monitor.take_times();
+    total.stragglers = detect_stragglers(&mut times, cfg.straggler_ratio, cfg.straggler_min_task);
+    if let Some(sink) = sink {
+        if let Some(err) = sink.finish() {
+            total.checkpoint_error.get_or_insert(err);
+        }
+    }
+    finalize(total)
+}
+
+/// Runs `vids` through `ex` with per-task isolation and control polling,
+/// optionally timing each task and publishing its delta to the checkpoint
+/// sink. Returns the stop condition that ended the batch early, if any.
 fn drive(
     ex: &mut Executor<'_>,
     monitor: &Monitor<'_>,
     vids: impl Iterator<Item = VertexId>,
+    sink: Option<&CheckpointSink>,
+    mut times: Option<&mut Vec<(u32, Duration)>>,
 ) -> Option<StopKind> {
     let mut published = ex.setop_iterations_so_far();
     for v in vids {
         if let Some(kind) = monitor.should_stop() {
             return Some(kind);
         }
-        ex.run_vertex_isolated(v);
+        let started = times.is_some().then(Instant::now);
+        let snapshot = sink.map(|_| TaskSnapshot::of(ex));
+        let ok = ex.run_vertex_isolated(v);
+        if let (Some(times), Some(started)) = (times.as_mut(), started) {
+            times.push((v.0, started.elapsed()));
+        }
+        if let (Some(sink), Some(snapshot)) = (sink, snapshot) {
+            snapshot.publish(sink, ex, v.0, ok);
+        }
         let spent = ex.setop_iterations_so_far();
         monitor.spend(spent - published);
         published = spent;
     }
     None
+}
+
+/// Pre-task counters, for publishing one task's delta to the checkpoint
+/// sink. The counts vector is tiny (one slot per pattern), so cloning it
+/// per task is cheap next to the subtree walk it brackets.
+struct TaskSnapshot {
+    counts: Vec<u64>,
+    work: WorkCounters,
+    faults: usize,
+    quarantined: usize,
+}
+
+impl TaskSnapshot {
+    fn of(ex: &Executor<'_>) -> TaskSnapshot {
+        TaskSnapshot {
+            counts: ex.counts_so_far().to_vec(),
+            work: ex.work_so_far(),
+            faults: ex.faults_so_far().len(),
+            quarantined: ex.quarantined_so_far().len(),
+        }
+    }
+
+    fn publish(self, sink: &CheckpointSink, ex: &Executor<'_>, vid: u32, completed: bool) {
+        let counts_delta: Vec<u64> = ex
+            .counts_so_far()
+            .iter()
+            .zip(&self.counts)
+            .map(|(after, before)| after - before)
+            .collect();
+        let work_delta = ex.work_so_far() - self.work;
+        let new_faults = &ex.faults_so_far()[self.faults..];
+        let quarantined = ex.quarantined_so_far()[self.quarantined..].first();
+        sink.publish_task(vid, completed, &counts_delta, work_delta, new_faults, quarantined);
+    }
 }
 
 /// Converts one worker's executor into its partial result, applying the
@@ -205,7 +393,8 @@ fn finalize(mut total: MiningResult) -> MiningResult {
         total.completed = Vec::new();
     } else {
         total.completed.sort_unstable();
-        total.faults.sort_unstable_by_key(|a| a.vid);
+        total.faults.sort_unstable_by_key(|a| (a.vid, a.attempt));
+        total.quarantined.sort_unstable_by_key(|a| (a.vid, a.attempt));
     }
     total
 }

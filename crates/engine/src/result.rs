@@ -2,6 +2,7 @@
 
 use fm_plan::ExecutionPlan;
 use std::ops::AddAssign;
+use std::time::Duration;
 
 /// Instrumentation counters accumulated by the software engines.
 ///
@@ -39,6 +40,29 @@ pub struct WorkCounters {
     pub probe_dispatches: u64,
 }
 
+impl std::ops::Sub for WorkCounters {
+    type Output = WorkCounters;
+    /// Component-wise difference; used for per-task delta snapshots when
+    /// publishing checkpoint progress. Counters are monotonic within a
+    /// worker, so `after - before` never underflows.
+    fn sub(self, o: WorkCounters) -> WorkCounters {
+        WorkCounters {
+            setop_iterations: self.setop_iterations - o.setop_iterations,
+            setop_invocations: self.setop_invocations - o.setop_invocations,
+            comparisons: self.comparisons - o.comparisons,
+            candidates_checked: self.candidates_checked - o.candidates_checked,
+            extensions: self.extensions - o.extensions,
+            cmap_inserts: self.cmap_inserts - o.cmap_inserts,
+            cmap_queries: self.cmap_queries - o.cmap_queries,
+            cmap_hits: self.cmap_hits - o.cmap_hits,
+            cmap_removes: self.cmap_removes - o.cmap_removes,
+            merge_dispatches: self.merge_dispatches - o.merge_dispatches,
+            gallop_dispatches: self.gallop_dispatches - o.gallop_dispatches,
+            probe_dispatches: self.probe_dispatches - o.probe_dispatches,
+        }
+    }
+}
+
 impl AddAssign for WorkCounters {
     fn add_assign(&mut self, o: WorkCounters) {
         self.setop_iterations += o.setop_iterations;
@@ -67,9 +91,11 @@ pub enum RunStatus {
     /// Every start vertex was mined; counts are total.
     #[default]
     Complete,
-    /// One or more start-vertex tasks panicked and were isolated; counts
-    /// are exact over the surviving start vertices and the poisoned roots
-    /// are listed in [`MiningResult::faults`].
+    /// One or more start-vertex tasks exhausted their retries and were
+    /// quarantined; counts are exact over the surviving start vertices,
+    /// every fault attempt is listed in [`MiningResult::faults`], and the
+    /// abandoned roots in [`MiningResult::quarantined`]. A task that
+    /// faulted but succeeded on a retry does *not* degrade the run.
     Degraded,
     /// The set-operation budget ran out before the job drained.
     BudgetExhausted,
@@ -92,15 +118,72 @@ impl RunStatus {
     }
 }
 
-/// One isolated start-vertex failure: the search root whose task panicked
-/// and the panic payload (stringified).
+/// One isolated start-vertex failure: the search root whose task panicked,
+/// which attempt it was, and the panic payload (stringified).
+///
+/// With retries enabled ([`EngineConfig::max_retries`](crate::EngineConfig::max_retries))
+/// a single start vertex can contribute several `Fault` records — one per
+/// failed attempt — before either succeeding (the run stays
+/// [`Complete`](RunStatus::Complete)) or landing in
+/// [`MiningResult::quarantined`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Fault {
-    /// Start vertex whose subtree was abandoned.
+    /// Start vertex whose task panicked.
     pub vid: u32,
+    /// Zero-based attempt index (0 = first try, 1 = first retry, …).
+    pub attempt: u32,
     /// The panic message, or a placeholder for non-string payloads.
     pub payload: String,
 }
+
+/// One task flagged by the straggler detector: its elapsed wall-clock time
+/// exceeded [`EngineConfig::straggler_ratio`](crate::EngineConfig::straggler_ratio)
+/// times the median task time of the run.
+///
+/// Purely observational — a straggler still completed and its counts are
+/// included. This is the hook for future work-splitting: the roster names
+/// exactly the subtrees whose serial grain limits the parallel tail.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Straggler {
+    /// Start vertex of the slow task.
+    pub vid: u32,
+    /// Wall-clock time of the task (all retry attempts included).
+    pub elapsed: Duration,
+    /// Median task time of the whole run, for scale.
+    pub median: Duration,
+}
+
+/// Flags tasks whose elapsed time is at least `ratio`× the run's median
+/// task time (and at least `min_task`, filtering timer noise on
+/// microsecond-scale tasks). Returns the stragglers sorted slowest-first,
+/// capped at [`MAX_STRAGGLERS`] entries so the report stays bounded on
+/// pathological inputs.
+pub(crate) fn detect_stragglers(
+    times: &mut [(u32, Duration)],
+    ratio: u32,
+    min_task: Duration,
+) -> Vec<Straggler> {
+    if ratio == 0 || times.is_empty() {
+        return Vec::new();
+    }
+    // Median by sorting a copy of the durations; ties on duration keep the
+    // report deterministic by falling back to vid order below.
+    let mut durs: Vec<Duration> = times.iter().map(|&(_, d)| d).collect();
+    durs.sort_unstable();
+    let median = durs[durs.len() / 2];
+    let threshold = median.saturating_mul(ratio).max(min_task);
+    let mut out: Vec<Straggler> = times
+        .iter()
+        .filter(|&&(_, d)| d >= threshold && d > Duration::ZERO)
+        .map(|&(vid, elapsed)| Straggler { vid, elapsed, median })
+        .collect();
+    out.sort_unstable_by(|a, b| b.elapsed.cmp(&a.elapsed).then(a.vid.cmp(&b.vid)));
+    out.truncate(MAX_STRAGGLERS);
+    out
+}
+
+/// Upper bound on the straggler roster in one [`MiningResult`].
+pub const MAX_STRAGGLERS: usize = 32;
 
 /// The outcome of a mining run: one raw match count per plan pattern, plus
 /// work counters, plus the job-control verdict.
@@ -123,8 +206,23 @@ pub struct MiningResult {
     /// Start vertices whose subtrees completed, ascending. Empty on a
     /// fault-free complete run (meaning: all of them).
     pub completed: Vec<u32>,
-    /// Start vertices whose tasks panicked and were isolated.
+    /// Every isolated task panic, one record per attempt (a retried-then-
+    /// successful task leaves its failed attempts here). On a resumed run
+    /// this includes the fault history carried over from the checkpoint.
     pub faults: Vec<Fault>,
+    /// Start vertices abandoned after exhausting
+    /// [`EngineConfig::max_retries`](crate::EngineConfig::max_retries);
+    /// one record per vertex (its final attempt). Non-empty iff the run is
+    /// [`Degraded`](RunStatus::Degraded) (or a harsher stop masked it).
+    pub quarantined: Vec<Fault>,
+    /// Tasks that ran far slower than the run's median task (observability
+    /// for load-imbalance / future work-splitting; see [`Straggler`]).
+    /// Slowest first, at most [`MAX_STRAGGLERS`] entries.
+    pub stragglers: Vec<Straggler>,
+    /// Last periodic-checkpoint write failure, if any. The run itself is
+    /// unaffected (mining never stops because durability did), but a
+    /// resume may replay more work than the interval promised.
+    pub checkpoint_error: Option<String>,
 }
 
 impl MiningResult {
@@ -134,8 +232,12 @@ impl MiningResult {
     }
 
     /// Merges another result into this one (used by the parallel driver).
-    /// Counts and work add; statuses combine by severity; completed and
-    /// fault lists concatenate (the driver sorts them once at the end).
+    /// Counts and work add; statuses combine by severity. The `completed`
+    /// list is kept sorted and deduplicated — workers own disjoint start
+    /// vertices, so a duplicate would mean double-counted work (asserted
+    /// in debug builds) — and fault/quarantine ordering is canonicalized
+    /// to `(vid, attempt)` so merged reports are bit-identical across
+    /// thread counts and worker interleavings.
     pub fn merge(&mut self, other: &MiningResult) {
         if self.counts.len() < other.counts.len() {
             self.counts.resize(other.counts.len(), 0);
@@ -146,7 +248,22 @@ impl MiningResult {
         self.work += other.work;
         self.status = self.status.max(other.status);
         self.completed.extend_from_slice(&other.completed);
+        self.completed.sort_unstable();
+        let before = self.completed.len();
+        self.completed.dedup();
+        debug_assert_eq!(
+            before,
+            self.completed.len(),
+            "workers must complete disjoint start-vertex sets"
+        );
         self.faults.extend_from_slice(&other.faults);
+        self.faults.sort_unstable_by_key(|f| (f.vid, f.attempt));
+        self.quarantined.extend_from_slice(&other.quarantined);
+        self.quarantined.sort_unstable_by_key(|f| (f.vid, f.attempt));
+        self.stragglers.extend_from_slice(&other.stragglers);
+        if self.checkpoint_error.is_none() {
+            self.checkpoint_error = other.checkpoint_error.clone();
+        }
     }
 
     /// Unique embedding counts: raw counts divided by |Aut(P)| when the
@@ -226,10 +343,10 @@ mod tests {
     }
 
     #[test]
-    fn merge_concatenates_completed_and_faults() {
+    fn merge_combines_completed_and_faults() {
         let mut a = MiningResult {
             completed: vec![0, 2],
-            faults: vec![Fault { vid: 1, payload: "boom".into() }],
+            faults: vec![Fault { vid: 1, attempt: 0, payload: "boom".into() }],
             ..MiningResult::empty(1)
         };
         let b = MiningResult { completed: vec![3], ..MiningResult::empty(1) };
@@ -237,6 +354,72 @@ mod tests {
         assert_eq!(a.completed, vec![0, 2, 3]);
         assert_eq!(a.faults.len(), 1);
         assert_eq!(a.faults[0].vid, 1);
+    }
+
+    /// ISSUE satellite: the merged completed list is sorted and the fault
+    /// roster is in canonical `(vid, attempt)` order regardless of the
+    /// order workers happened to report in, so resumed-run outputs are
+    /// stable across thread counts.
+    #[test]
+    fn merge_is_deterministic_across_worker_orderings() {
+        let w1 = MiningResult {
+            completed: vec![5, 9],
+            faults: vec![
+                Fault { vid: 7, attempt: 1, payload: "b".into() },
+                Fault { vid: 7, attempt: 0, payload: "a".into() },
+            ],
+            ..MiningResult::empty(1)
+        };
+        let w2 = MiningResult {
+            completed: vec![1, 3],
+            faults: vec![Fault { vid: 2, attempt: 0, payload: "c".into() }],
+            quarantined: vec![Fault { vid: 2, attempt: 2, payload: "c".into() }],
+            ..MiningResult::empty(1)
+        };
+        let mut ab = MiningResult::empty(1);
+        ab.merge(&w1);
+        ab.merge(&w2);
+        let mut ba = MiningResult::empty(1);
+        ba.merge(&w2);
+        ba.merge(&w1);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.completed, vec![1, 3, 5, 9]);
+        let order: Vec<(u32, u32)> = ab.faults.iter().map(|f| (f.vid, f.attempt)).collect();
+        assert_eq!(order, vec![(2, 0), (7, 0), (7, 1)]);
+        assert_eq!(ab.quarantined.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "disjoint")]
+    fn merge_rejects_overlapping_completed_sets_in_debug() {
+        let mut a = MiningResult { completed: vec![4], ..MiningResult::empty(1) };
+        let b = MiningResult { completed: vec![4], ..MiningResult::empty(1) };
+        a.merge(&b);
+    }
+
+    #[test]
+    fn straggler_detection_flags_outliers_deterministically() {
+        let ms = Duration::from_millis;
+        let mut times = vec![(0, ms(10)), (1, ms(11)), (2, ms(9)), (3, ms(200)), (4, ms(10))];
+        let out = detect_stragglers(&mut times, 8, Duration::ZERO);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].vid, 3);
+        assert_eq!(out[0].elapsed, ms(200));
+        assert_eq!(out[0].median, ms(10));
+        // Ratio 0 disables detection entirely.
+        assert!(detect_stragglers(&mut times, 0, Duration::ZERO).is_empty());
+        // The floor suppresses timer noise: everything below min_task is
+        // ignored even when the ratio would flag it.
+        let mut tiny = vec![(0, ms(1)), (1, ms(1)), (2, ms(3))];
+        assert!(detect_stragglers(&mut tiny, 2, ms(50)).is_empty());
+        // Slowest-first ordering with vid tiebreak, capped at MAX_STRAGGLERS.
+        let mut many: Vec<(u32, Duration)> = (0..190).map(|v| (v, ms(1))).collect();
+        many.extend((190..230).map(|v| (v, ms(100))));
+        let out = detect_stragglers(&mut many, 4, Duration::ZERO);
+        assert_eq!(out.len(), MAX_STRAGGLERS);
+        assert!(out.windows(2).all(|w| w[0].elapsed >= w[1].elapsed));
+        assert_eq!(out[0].vid, 190);
     }
 
     #[test]

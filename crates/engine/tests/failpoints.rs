@@ -36,6 +36,10 @@ fn assert_degraded_exactly(r: &MiningResult, poisoned: u32, expected_counts: &[u
     assert_eq!(r.status, RunStatus::Degraded);
     assert_eq!(r.faults.len(), 1, "faults: {:?}", r.faults);
     assert_eq!(r.faults[0].vid, poisoned);
+    // With the default `max_retries = 0`, one failed attempt goes straight
+    // to quarantine — and `Degraded` means exactly "quarantine non-empty".
+    assert_eq!(r.quarantined.len(), 1);
+    assert_eq!(r.quarantined[0].vid, poisoned);
     assert_eq!(r.counts, expected_counts);
     assert!(!r.completed.contains(&poisoned));
 }
@@ -116,6 +120,7 @@ fn every_start_vertex_faulting_still_terminates() {
     let r = mine(&g, &plan, &cfg);
     assert_eq!(r.status, RunStatus::Degraded);
     assert_eq!(r.faults.len(), g.num_vertices());
+    assert_eq!(r.quarantined.len(), g.num_vertices());
     assert_eq!(r.counts, vec![0]);
     assert!(r.completed.is_empty());
     // Fault report is deterministic: sorted by vid.
