@@ -1,0 +1,101 @@
+//! Telemetry overhead ablation (`BENCH_telemetry`).
+//!
+//! Runs every workload twice on the Mi stand-in: once with telemetry off
+//! (the default, bit-identical fast path) and once with full collection on
+//! (depth/tier metrics, histograms, and span tracing — everything the CLI
+//! enables for `--metrics-out --trace-out`). Counts and `WorkCounters` are
+//! asserted bit-identical, and the geomean wall-clock ratio gates the
+//! collection overhead at 3% (plus a small absolute epsilon so sub-ms
+//! quick runs don't fail on scheduler jitter).
+
+use fm_bench::datasets::{dataset, DatasetKey};
+use fm_bench::harness::{fmt_secs, fmt_x, geomean, BenchArgs, Table};
+use fm_bench::workloads::{workload, WorkloadKey};
+use fm_engine::{
+    mine_prepared, mine_prepared_observed, prepare, EngineConfig, MiningResult, PreparedGraph,
+    TelemetryOptions,
+};
+use fm_telemetry::TraceClock;
+use std::time::Instant;
+
+/// Overhead ceiling for full telemetry collection.
+const MAX_OVERHEAD: f64 = 1.03;
+/// Absolute slack per run: timing jitter floor on short workloads.
+const EPSILON_SECS: f64 = 0.002;
+
+/// Min-of-3 timing, like `time_engine_with`, parameterized over the run.
+fn time_min3(run: &mut dyn FnMut() -> MiningResult) -> (f64, MiningResult) {
+    let start = Instant::now();
+    let result = run();
+    let mut best = start.elapsed().as_secs_f64();
+    for _ in 0..2 {
+        let start = Instant::now();
+        let again = run();
+        assert_eq!(again.counts, result.counts, "nondeterministic repeat");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn observed(
+    prepared: &PreparedGraph<'_>,
+    plan: &fm_plan::ExecutionPlan,
+    cfg: &EngineConfig,
+) -> MiningResult {
+    let telemetry =
+        TelemetryOptions { metrics: true, trace: Some(TraceClock::start()), ..Default::default() };
+    mine_prepared_observed(prepared, plan, cfg, &telemetry)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let d = dataset(DatasetKey::Mi, args.quick);
+    let cfg = EngineConfig { threads: args.threads, ..EngineConfig::default() };
+
+    let mut table = Table::new(
+        "BENCH_telemetry",
+        "full telemetry collection overhead vs the zero-cost-off default (counts and work bit-identical)",
+        &["workload", "t-off", "t-on", "overhead", "depth-levels", "spans"],
+    );
+    let mut ratios = Vec::new();
+    for key in WorkloadKey::all() {
+        let w = workload(key);
+        let plan = w.plan();
+        let prepared = prepare(&d.graph, &plan, &cfg);
+        let (t_off, base) = time_min3(&mut || mine_prepared(&prepared, &plan, &cfg));
+        let (t_on, traced) = time_min3(&mut || observed(&prepared, &plan, &cfg));
+        assert_eq!(base.counts, traced.counts, "{}: telemetry changed counts", w.key.label());
+        assert_eq!(base.work, traced.work, "{}: telemetry changed work counters", w.key.label());
+        let shard = traced.telemetry.as_deref().expect("observed run returns a shard");
+        assert_eq!(
+            shard.depth_setop_iterations.iter().sum::<u64>(),
+            traced.work.setop_iterations,
+            "{}: depth series must partition the aggregate counter",
+            w.key.label()
+        );
+        // The per-workload ratio feeds the geomean gate; the epsilon keeps
+        // micro-workloads from gating on noise.
+        ratios.push(((t_on - EPSILON_SECS).max(1e-12) / t_off.max(1e-12)).max(1.0));
+        table.push(vec![
+            w.key.label().to_string(),
+            fmt_secs(t_off),
+            fmt_secs(t_on),
+            fmt_x(t_on / t_off.max(1e-12)),
+            shard.depth_setop_iterations.len().to_string(),
+            shard.spans.len().to_string(),
+        ]);
+    }
+    let overall = geomean(&ratios);
+    table.note(format!(
+        "geomean overhead {} (gate {}x, epsilon {}s per run)",
+        fmt_x(overall),
+        MAX_OVERHEAD,
+        EPSILON_SECS
+    ));
+    table.note(format!("dataset {} ({} vertices)", d.key.label(), d.graph.num_vertices()));
+    assert!(
+        overall <= MAX_OVERHEAD,
+        "acceptance: telemetry overhead gate: geomean {overall:.4} > {MAX_OVERHEAD}"
+    );
+    table.emit(&args.out).expect("write BENCH_telemetry");
+}

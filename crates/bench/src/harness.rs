@@ -3,6 +3,7 @@
 use fm_engine::{mine_prepared, prepare, EngineConfig, MiningResult};
 use fm_graph::CsrGraph;
 use fm_plan::ExecutionPlan;
+use fm_telemetry::json::{json_str, json_str_array};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -181,37 +182,6 @@ impl Table {
         println!("[written {}]", path.display());
         Ok(())
     }
-}
-
-/// Appends `s` as a JSON string literal (quotes, backslashes, and control
-/// characters escaped per RFC 8259).
-fn json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn json_str_array(out: &mut String, items: &[String]) {
-    out.push('[');
-    for (i, item) in items.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        json_str(out, item);
-    }
-    out.push(']');
 }
 
 impl std::fmt::Display for Table {

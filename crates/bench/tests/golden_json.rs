@@ -1,0 +1,42 @@
+//! Golden tests pinning the exact bytes of the experiment-result JSON.
+//!
+//! Every `BENCH_*.json` under `results/` is written by
+//! [`Table::to_json`], which since the telemetry unification delegates its
+//! string encoding to `fm_telemetry::json`. These tests pin the byte
+//! format so downstream tooling that parses the result files (plot
+//! scripts, CI diffs) never silently breaks: any change to the emitter is
+//! an intentional, reviewed change here.
+
+use fm_bench::harness::Table;
+
+#[test]
+fn table_json_bytes_are_pinned() {
+    let mut t = Table::new("fig14", "End-to-end speedup", &["graph", "pattern", "speedup"]);
+    t.push(vec!["mico".into(), "triangle".into(), "10.20x".into()]);
+    t.push(vec!["patents".into(), "4-clique".into(), "8.10x".into()]);
+    t.note("quick mode");
+    assert_eq!(
+        t.to_json(),
+        r#"{"id":"fig14","title":"End-to-end speedup","headers":["graph","pattern","speedup"],"rows":[["mico","triangle","10.20x"],["patents","4-clique","8.10x"]],"notes":["quick mode"]}"#
+    );
+}
+
+#[test]
+fn table_json_escaping_is_pinned() {
+    let mut t = Table::new("esc", "quo\"te\\slash", &["a"]);
+    t.push(vec!["line\nbreak\tand\rcontrol\u{1}".into()]);
+    assert_eq!(
+        t.to_json(),
+        "{\"id\":\"esc\",\"title\":\"quo\\\"te\\\\slash\",\"headers\":[\"a\"],\
+         \"rows\":[[\"line\\nbreak\\tand\\rcontrol\\u0001\"]],\"notes\":[]}"
+    );
+}
+
+#[test]
+fn empty_table_json_is_pinned() {
+    let t = Table::new("empty", "no rows", &[]);
+    assert_eq!(
+        t.to_json(),
+        r#"{"id":"empty","title":"no rows","headers":[],"rows":[],"notes":[]}"#
+    );
+}

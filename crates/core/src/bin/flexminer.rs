@@ -15,12 +15,15 @@
 //! `gen:powerlaw,n=10000,m=6,closure=0.5,seed=42`,
 //! `gen:er,n=1000,p=0.05,seed=1`, or `gen:complete,n=32`.
 
+use flexminer::telemetry::{parse_cadence, LogLevel, TraceClock};
 use flexminer::{
-    apps, Backend, Budget, EngineConfig, MineError, Miner, Pattern, RunStatus, SimConfig,
+    apps, report, Backend, Budget, EngineConfig, MineError, Miner, Pattern, ProgressOptions,
+    RunStatus, SimConfig, TelemetryOptions,
 };
 use fm_graph::{generators, io, CsrGraph, GraphStats};
 use fm_sim::EnergyModel;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::exit;
 use std::time::Duration;
 
@@ -64,25 +67,38 @@ fn exit_code(status: RunStatus) -> i32 {
 
 /// Reports a partial run on stderr: results on stdout stay machine
 /// readable, the status and fault/quarantine/straggler rosters go to the
-/// human.
-fn report_status(outcome: &flexminer::MiningOutcome) {
+/// human. `level` is the CLI verbosity (`--log-level`): warnings about
+/// truncated results print at `warn` and above, straggler/healed-fault
+/// advisories at `info` and above.
+fn report_status(outcome: &flexminer::MiningOutcome, level: LogLevel) {
+    let warn = level.allows(LogLevel::Warn);
+    let info = level.allows(LogLevel::Info);
     if let Some(err) = outcome.checkpoint_error() {
-        eprintln!("warning: checkpointing stopped: {err}");
+        if warn {
+            eprintln!("warning: checkpointing stopped: {err}");
+        }
     }
-    for s in outcome.stragglers() {
-        eprintln!(
-            "straggler: start vertex {} took {:.3?} (run median {:.3?})",
-            s.vid, s.elapsed, s.median
-        );
+    if info {
+        for s in outcome.stragglers() {
+            eprintln!(
+                "straggler: start vertex {} took {:.3?} (run median {:.3?})",
+                s.vid, s.elapsed, s.median
+            );
+        }
     }
     if outcome.is_complete() {
         // A retried-then-healed fault leaves a record on a complete run.
-        for f in outcome.faults() {
-            eprintln!(
-                "fault (healed on retry): start vertex {} attempt {}: {}",
-                f.vid, f.attempt, f.payload
-            );
+        if info {
+            for f in outcome.faults() {
+                eprintln!(
+                    "fault (healed on retry): start vertex {} attempt {}: {}",
+                    f.vid, f.attempt, f.payload
+                );
+            }
         }
+        return;
+    }
+    if !warn {
         return;
     }
     eprintln!(
@@ -95,6 +111,65 @@ fn report_status(outcome: &flexminer::MiningOutcome) {
     }
     for f in outcome.quarantined() {
         eprintln!("quarantined: start vertex {} after {} attempt(s)", f.vid, f.attempt + 1);
+    }
+}
+
+/// Telemetry exports and verbosity shared by `count` and `sim`.
+struct TelemetryFlags {
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    level: LogLevel,
+}
+
+impl TelemetryFlags {
+    /// Parses `--metrics-out`, `--trace-out`, and `--log-level`.
+    fn parse(args: &[String]) -> Result<TelemetryFlags, String> {
+        let level = flag_value(args, "--log-level").map_or(Ok(LogLevel::Info), |v| {
+            LogLevel::parse(v).map_err(|e| format!("bad --log-level: {e}"))
+        })?;
+        Ok(TelemetryFlags {
+            metrics_out: flag_value(args, "--metrics-out").map(PathBuf::from),
+            trace_out: flag_value(args, "--trace-out").map(PathBuf::from),
+            level,
+        })
+    }
+
+    /// Assembles the engine-side run options: metrics collection is implied
+    /// by `--metrics-out`, span tracing by `--trace-out`, live progress by
+    /// `--progress` / `--heartbeat`.
+    fn engine_options(&self, args: &[String]) -> Result<TelemetryOptions, String> {
+        let progress = match (flag_value(args, "--progress"), flag_value(args, "--heartbeat")) {
+            (None, None) => None,
+            (cadence, heartbeat) => {
+                let cadence = cadence
+                    .map_or(Ok(fm_telemetry::ProgressCadence::Tasks(64)), |v| {
+                        parse_cadence(v).map_err(|e| format!("bad --progress: {e}"))
+                    })?;
+                Some(ProgressOptions { cadence, heartbeat: heartbeat.map(PathBuf::from) })
+            }
+        };
+        Ok(TelemetryOptions {
+            metrics: self.metrics_out.is_some(),
+            trace: self.trace_out.is_some().then(TraceClock::start),
+            span_capacity: None,
+            progress,
+        })
+    }
+
+    /// Writes the metrics document and/or trace JSON the user asked for.
+    fn export(
+        &self,
+        metrics: impl FnOnce() -> fm_telemetry::MetricsDoc,
+        trace: impl FnOnce() -> String,
+    ) -> Result<(), String> {
+        if let Some(path) = &self.metrics_out {
+            report::write_metrics(path, &metrics())
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, trace()).map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        Ok(())
     }
 }
 
@@ -113,9 +188,13 @@ commands:
         [--no-hub-bitmap] [--hub-threshold DEGREE] [--hub-budget BYTES]
         [--checkpoint PATH] [--checkpoint-interval N|SECSs] [--resume PATH]
         [--max-retries K]
+        [--metrics-out PATH] [--trace-out PATH] [--progress N|Ns]
+        [--heartbeat PATH] [--log-level error|warn|info|debug]
   sim   <pattern> --graph <input> [flags]   mine on the simulated accelerator
         [--pes N] [--cmap BYTES|unlimited|none] [--energy] [--induced]
         [--watchdog CYCLES]
+        [--metrics-out PATH] [--trace-out PATH]
+        [--log-level error|warn|info|debug]
   motifs <k> --graph <input> [--threads N]  k-motif census (vertex-induced)
   generate <spec> --out <file>              write a synthetic graph as an edge list
   stats --graph <input>                     print graph statistics
@@ -136,6 +215,24 @@ durability (count only):
                                graph/plan/config mismatch is a hard error
   --max-retries K              retry a faulted task K times before
                                quarantining it (default 0)
+
+telemetry (off by default; defaults stay bit-identical):
+  --metrics-out PATH           write run metrics: Prometheus text for .prom
+                               or .txt extensions, JSON otherwise. count
+                               adds depth/tier-resolved set-op series and
+                               task/frontier histograms; sim adds per-PE
+                               FSM-state occupancy and machine totals
+  --trace-out PATH             write Chrome trace_event JSON (open in
+                               chrome://tracing or Perfetto). count emits
+                               prepare/mine/task/checkpoint spans; sim
+                               emits machine counter tracks (1 cycle = 1us
+                               on the viewer's axis)
+  --progress N|Ns (count)      live progress to stderr every N tasks, or
+                               every N seconds with a trailing 's'
+  --heartbeat PATH (count)     append one JSON progress object per report
+  --log-level LEVEL            stderr verbosity (default info); error
+                               silences advisories, warn keeps truncation
+                               warnings
 
 exit codes:
   0 complete   1 error (incl. checkpoint mismatch)   2 usage   3 deadline
@@ -270,6 +367,8 @@ fn cmd_count(args: &[String], _induced_default: bool) -> CliResult {
     if let Some(path) = flag_value(args, "--resume") {
         job = job.resume_from(path);
     }
+    let telemetry = TelemetryFlags::parse(args)?;
+    job = job.telemetry(telemetry.engine_options(args)?);
     let timeout = flag_value(args, "--timeout")
         .map(|v| v.parse::<f64>().map_err(|e| format!("bad --timeout: {e}")))
         .transpose()?;
@@ -283,8 +382,11 @@ fn cmd_count(args: &[String], _induced_default: bool) -> CliResult {
     for pc in outcome.per_pattern() {
         println!("{}: {}", pc.name, pc.count);
     }
-    report_status(&outcome);
-    eprintln!("[{} threads, {:.3?}]", threads, start.elapsed());
+    telemetry.export(|| report::engine_metrics(&outcome), || report::engine_trace(&outcome))?;
+    report_status(&outcome, telemetry.level);
+    if telemetry.level.allows(LogLevel::Info) {
+        eprintln!("[{} threads, {:.3?}]", threads, start.elapsed());
+    }
     Ok(exit_code(outcome.status()))
 }
 
@@ -304,6 +406,13 @@ fn cmd_sim(args: &[String]) -> CliResult {
     }
     if let Some(v) = flag_value(args, "--watchdog") {
         cfg.watchdog_cycles = v.parse().map_err(|e| format!("bad --watchdog: {e}"))?;
+    }
+    let telemetry = TelemetryFlags::parse(args)?;
+    if telemetry.trace_out.is_some() {
+        // Counter-track traces need the machine timeline; sample it at the
+        // contention-resolution epoch (the simulator's finest honest
+        // granularity).
+        cfg.timeline_every = cfg.epoch;
     }
     let mut job = Miner::new(&g).pattern(pattern).backend(Backend::Accelerator(cfg));
     if has_flag(args, "--induced") {
@@ -337,6 +446,8 @@ fn cmd_sim(args: &[String]) -> CliResult {
     for pc in outcome.per_pattern() {
         println!("{}: {}", pc.name, pc.count);
     }
+    telemetry.export(|| report::sim_metrics(&outcome, &cfg), || report::sim_trace(report))?;
+    report_status(&outcome, telemetry.level);
     println!("cycles:            {}", report.cycles);
     println!("simulated time:    {:.6} s", report.seconds(&cfg));
     println!("PEs:               {}", cfg.num_pes);

@@ -46,6 +46,7 @@
 
 pub mod apps;
 pub mod miner;
+pub mod report;
 
 // Whole-subsystem re-exports, so downstream users need only the
 // `flexminer` dependency: `flexminer::graph::generators`, etc.
@@ -54,13 +55,14 @@ pub use fm_graph as graph;
 pub use fm_pattern as pattern;
 pub use fm_plan as plan;
 pub use fm_sim as sim;
+pub use fm_telemetry as telemetry;
 
 pub use fm_engine::{
     Budget, CancelToken, Checkpoint, CheckpointConfig, CheckpointError, EngineConfig, Fault,
-    GraphFingerprint, RunStatus, Straggler,
+    GraphFingerprint, ProgressOptions, RunStatus, Straggler, TelemetryOptions,
 };
 pub use fm_graph::{CsrGraph, GraphBuilder, GraphError, VertexId};
 pub use fm_pattern::{motifs, Pattern, PatternError};
 pub use fm_plan::{CompileOptions, ExecutionPlan};
-pub use fm_sim::{PeFsmState, SimConfig, SimReport, WatchdogDump};
+pub use fm_sim::{PeFsmState, SimConfig, SimReport, TimelineSample, WatchdogDump, FSM_STATE_NAMES};
 pub use miner::{Backend, MineError, Miner, MiningOutcome, PatternCount};

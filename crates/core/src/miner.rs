@@ -1,8 +1,8 @@
 //! The mining job builder.
 
 use fm_engine::{
-    Budget, CancelToken, CheckpointConfig, CheckpointError, EngineConfig, Fault, MiningResult,
-    Recovery, RunStatus, Straggler, WorkCounters,
+    Budget, CancelToken, Checkpoint, CheckpointConfig, CheckpointError, EngineConfig, Fault,
+    MiningResult, Recovery, RunStatus, Straggler, TelemetryOptions, WorkCounters,
 };
 use fm_graph::CsrGraph;
 use fm_pattern::Pattern;
@@ -143,6 +143,7 @@ pub struct MiningOutcome {
     quarantined: Vec<Fault>,
     stragglers: Vec<Straggler>,
     checkpoint_error: Option<String>,
+    telemetry: Option<Box<fm_telemetry::TelemetryShard>>,
 }
 
 impl MiningOutcome {
@@ -215,6 +216,13 @@ impl MiningOutcome {
         self.sim.as_ref()
     }
 
+    /// The merged telemetry shard (software backend with
+    /// [`Miner::telemetry`] enabled only): depth-resolved work metrics,
+    /// task/frontier histograms, and trace spans.
+    pub fn telemetry(&self) -> Option<&fm_telemetry::TelemetryShard> {
+        self.telemetry.as_deref()
+    }
+
     /// Host wall-clock time of the run. For the software backend this is
     /// the baseline measurement the paper compares against; for the
     /// accelerator backend prefer
@@ -254,6 +262,7 @@ pub struct Miner<'g> {
     cancel: Option<CancelToken>,
     checkpoint: Option<CheckpointConfig>,
     resume: Option<PathBuf>,
+    telemetry: TelemetryOptions,
 }
 
 impl<'g> Miner<'g> {
@@ -269,6 +278,7 @@ impl<'g> Miner<'g> {
             cancel: None,
             checkpoint: None,
             resume: None,
+            telemetry: TelemetryOptions::default(),
         }
     }
 
@@ -402,6 +412,19 @@ impl<'g> Miner<'g> {
         self
     }
 
+    /// Enables telemetry collection on the software backend (see
+    /// [`TelemetryOptions`]): depth/tier metrics and histograms, Chrome
+    /// trace spans, and/or live progress reporting. The default (all off)
+    /// keeps the run bit-identical to an uninstrumented one; the merged
+    /// shard is returned via [`MiningOutcome::telemetry`]. No-op for the
+    /// accelerator backend, whose observability lives in
+    /// [`SimReport`] (set [`SimConfig::timeline_every`] for timelines).
+    #[must_use]
+    pub fn telemetry(mut self, options: TelemetryOptions) -> Self {
+        self.telemetry = options;
+        self
+    }
+
     /// Applies a resource [`Budget`] (software backend only). Limits
     /// combine with any already set — each takes the tighter value — so a
     /// budget on the job and one on the `EngineConfig` both hold.
@@ -486,24 +509,26 @@ impl<'g> Miner<'g> {
                     let mut cfg = *cfg;
                     cfg.budget = merge_budgets(cfg.budget, self.budget);
                     let cancel = self.cancel.as_ref();
-                    let result = if let Some(path) = &self.resume {
-                        fm_engine::mine_resumed(
-                            self.graph,
-                            &plan,
-                            &cfg,
-                            cancel,
-                            path,
-                            self.checkpoint.clone(),
-                        )
-                        .map_err(MineError::Checkpoint)?
-                    } else if self.checkpoint.is_some() {
-                        let recovery =
-                            Recovery { checkpoint: self.checkpoint.clone(), resume: None };
-                        fm_engine::mine_with_recovery(self.graph, &plan, &cfg, cancel, recovery)
-                            .map_err(MineError::Checkpoint)?
-                    } else {
-                        fm_engine::mine_with_cancel(self.graph, &plan, &cfg, cancel)
-                    };
+                    // One funnel for every software job: resume snapshots
+                    // load here, then recovery + telemetry ride together
+                    // through `mine_observed` (the engine's fully-general
+                    // entry point — identical to `mine` when both are off).
+                    let resume = self
+                        .resume
+                        .as_deref()
+                        .map(Checkpoint::load)
+                        .transpose()
+                        .map_err(MineError::Checkpoint)?;
+                    let recovery = Recovery { checkpoint: self.checkpoint.clone(), resume };
+                    let result = fm_engine::mine_observed(
+                        self.graph,
+                        &plan,
+                        &cfg,
+                        cancel,
+                        recovery,
+                        &self.telemetry,
+                    )
+                    .map_err(MineError::Checkpoint)?;
                     let work = result.work;
                     (result, Some(work), None)
                 }
@@ -545,6 +570,7 @@ impl<'g> Miner<'g> {
             quarantined: result.quarantined,
             stragglers: result.stragglers,
             checkpoint_error: result.checkpoint_error,
+            telemetry: result.telemetry,
         })
     }
 

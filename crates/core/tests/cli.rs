@@ -169,3 +169,137 @@ fn max_retries_on_a_healthy_run_stays_complete() {
     assert_eq!(out.status.code(), Some(0));
     assert!(String::from_utf8_lossy(&out.stdout).starts_with("triangle: "));
 }
+
+/// Naive JSON structural check, good enough to validate trace/heartbeat
+/// shape without a parser dependency: balanced braces and the expected
+/// markers present.
+fn assert_json_object(s: &str, markers: &[&str]) {
+    let opens = s.matches('{').count();
+    let closes = s.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces in {s:.200}");
+    assert!(opens > 0, "no JSON object in {s:.200}");
+    for m in markers {
+        assert!(s.contains(m), "missing {m:?} in {s:.200}");
+    }
+}
+
+/// `count --metrics-out/--trace-out` writes Prometheus text (by extension)
+/// and valid Chrome trace JSON, while stdout stays byte-identical to a
+/// plain run (telemetry is observation, never perturbation).
+#[test]
+fn count_telemetry_exports_and_stays_bit_identical() {
+    let prom = temp_ckpt("metrics").with_extension("prom");
+    let trace = temp_ckpt("trace").with_extension("json");
+    let plain = flexminer(&["count", "4-clique", "--graph", GRAPH, "--threads", "4"]);
+    assert_eq!(plain.status.code(), Some(0));
+    let observed = flexminer(&[
+        "count",
+        "4-clique",
+        "--graph",
+        GRAPH,
+        "--threads",
+        "4",
+        "--metrics-out",
+        prom.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        observed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&observed.stderr)
+    );
+    assert_eq!(observed.stdout, plain.stdout, "telemetry must not change counts");
+
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(prom_text.contains("# TYPE fm_pattern_count counter"), "{prom_text:.300}");
+    assert!(prom_text.contains("fm_depth_setop_iterations{depth=\"1\"}"), "{prom_text:.300}");
+    assert!(prom_text.contains("fm_dispatches{tier="), "{prom_text:.300}");
+    assert!(prom_text.contains("fm_task_wall_time_us_bucket"), "{prom_text:.300}");
+
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert_json_object(
+        &trace_text,
+        &["\"traceEvents\"", "\"name\":\"mine\"", "\"name\":\"start-vertex-task\"", "\"ph\":\"X\""],
+    );
+    let _ = std::fs::remove_file(&prom);
+    let _ = std::fs::remove_file(&trace);
+}
+
+/// `--progress` emits live lines on stderr and `--heartbeat` appends JSONL
+/// snapshots; `--log-level error` silences the advisory footer.
+#[test]
+fn progress_and_heartbeat_report_live_state() {
+    let heartbeat = temp_ckpt("heartbeat").with_extension("jsonl");
+    let out = flexminer(&[
+        "count",
+        "triangle",
+        "--graph",
+        GRAPH,
+        "--progress",
+        "64",
+        "--heartbeat",
+        heartbeat.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[progress]"), "stderr: {stderr}");
+    assert!(stderr.contains("status Complete"), "stderr: {stderr}");
+    let lines = std::fs::read_to_string(&heartbeat).unwrap();
+    let last = lines.lines().last().expect("at least the final heartbeat");
+    assert_json_object(last, &["\"done\"", "\"total\"", "\"status\":\"Complete\""]);
+
+    let quiet = flexminer(&["count", "triangle", "--graph", GRAPH, "--log-level", "error"]);
+    assert_eq!(quiet.status.code(), Some(0));
+    let quiet_err = String::from_utf8_lossy(&quiet.stderr);
+    assert!(!quiet_err.contains("threads"), "stderr should be silent: {quiet_err}");
+    let _ = std::fs::remove_file(&heartbeat);
+}
+
+/// `sim --metrics-out/--trace-out`: per-PE FSM occupancy lands in the
+/// metrics document and the machine timeline renders as counter tracks.
+#[test]
+fn sim_telemetry_exports_occupancy_and_timeline() {
+    let prom = temp_ckpt("sim-metrics").with_extension("txt");
+    let trace = temp_ckpt("sim-trace").with_extension("json");
+    let out = flexminer(&[
+        "sim",
+        "triangle",
+        "--graph",
+        GRAPH,
+        "--pes",
+        "4",
+        "--metrics-out",
+        prom.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(
+        prom_text.contains("fm_sim_pe_occupancy_cycles{pe=\"0\",state=\"Idle\"}"),
+        "{prom_text:.400}"
+    );
+    assert!(
+        prom_text.contains("fm_sim_pe_occupancy_cycles{pe=\"3\",state=\"IteratingEdges\"}"),
+        "{prom_text:.400}"
+    );
+    assert!(prom_text.contains("fm_sim_cycles"), "{prom_text:.400}");
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert_json_object(&trace_text, &["\"traceEvents\"", "\"ph\":\"C\"", "pe_utilization"]);
+    let _ = std::fs::remove_file(&prom);
+    let _ = std::fs::remove_file(&trace);
+}
+
+/// Bad telemetry flag values fail fast, before any mining starts.
+#[test]
+fn bad_telemetry_flags_exit_one() {
+    let out = flexminer(&["count", "triangle", "--graph", GRAPH, "--progress", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --progress"));
+
+    let out = flexminer(&["count", "triangle", "--graph", GRAPH, "--log-level", "loud"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --log-level"));
+}

@@ -195,8 +195,11 @@ pub fn plan_fingerprint(plan: &ExecutionPlan) -> u64 {
 /// it), but the resumed run must also reproduce `WorkCounters` totals
 /// bit-for-bit, so every knob that steers candidate generation or set-op
 /// dispatch participates. Threads, chunk size, scheduling order, budgets,
-/// retries, and straggler thresholds are excluded: totals are
-/// order-independent, and a resume may legitimately change them.
+/// retries, straggler thresholds, and every telemetry knob
+/// ([`TelemetryOptions`](crate::TelemetryOptions)) are excluded: totals
+/// are order-independent, a resume may legitimately change them, and
+/// telemetry never perturbs counts or work — so turning observability on
+/// or off never invalidates a checkpoint.
 pub fn config_fingerprint(cfg: &EngineConfig) -> u64 {
     let mut h = Fnv::new();
     h.u64(u64::from(cfg.use_cmap));
@@ -723,12 +726,21 @@ struct SinkState {
     /// First write failure; periodic checkpointing stops after one (the
     /// run itself continues), and the error surfaces on the result.
     error: Option<String>,
+    /// Span collection for observed runs (`checkpoint-write` spans,
+    /// recorded under the lock already held for the write itself — no new
+    /// synchronization on any path).
+    trace: Option<(fm_telemetry::TraceClock, Vec<fm_telemetry::Span>)>,
 }
 
 impl CheckpointSink {
     /// A sink seeded with `snap` (empty for a fresh job, the loaded
-    /// snapshot for a resumed one).
-    pub(crate) fn new(cfg: CheckpointConfig, snap: Checkpoint) -> CheckpointSink {
+    /// snapshot for a resumed one). Observed runs pass the run's trace
+    /// clock so snapshot writes appear in the trace.
+    pub(crate) fn new(
+        cfg: CheckpointConfig,
+        snap: Checkpoint,
+        trace: Option<fm_telemetry::TraceClock>,
+    ) -> CheckpointSink {
         CheckpointSink {
             cfg,
             state: Mutex::new(SinkState {
@@ -736,6 +748,7 @@ impl CheckpointSink {
                 tasks_since_write: 0,
                 last_write: Instant::now(),
                 error: None,
+                trace: trace.map(|clock| (clock, Vec::new())),
             }),
         }
     }
@@ -784,13 +797,33 @@ impl CheckpointSink {
         s.error.clone()
     }
 
+    /// Takes the collected `checkpoint-write` spans (driver-side, after
+    /// [`finish`](Self::finish)).
+    pub(crate) fn take_spans(&self) -> Vec<fm_telemetry::Span> {
+        let mut s = self.state.lock().expect("checkpoint sink poisoned");
+        s.trace.as_mut().map(|(_, spans)| std::mem::take(spans)).unwrap_or_default()
+    }
+
     fn write(path: &Path, s: &mut SinkState) {
+        let start_us = s.trace.as_ref().map(|(clock, _)| clock.now_us());
+        let tasks_covered = s.tasks_since_write;
         match s.snap.write_atomic(path) {
             Ok(()) => {
                 s.tasks_since_write = 0;
                 s.last_write = Instant::now();
             }
             Err(e) => s.error = Some(e.to_string()),
+        }
+        if let Some((clock, spans)) = &mut s.trace {
+            let start = start_us.expect("snapshot taken above when tracing");
+            spans.push(fm_telemetry::Span::close(
+                clock,
+                "checkpoint-write",
+                "checkpoint",
+                start,
+                0,
+                Some(("tasks", tasks_covered)),
+            ));
         }
     }
 }

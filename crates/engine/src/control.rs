@@ -23,6 +23,9 @@
 //! before the stop are recorded exactly, so a partial result is a complete
 //! result over a known subset of the search roots.
 
+use crate::telemetry::ProgressOptions;
+use fm_telemetry::{ProgressCadence, ProgressSnapshot};
+use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -140,6 +143,94 @@ pub(crate) struct Monitor<'t> {
     /// (`straggler_ratio == 0`), so untracked runs take no per-task
     /// timestamps and no lock.
     task_times: Option<Mutex<Vec<(u32, Duration)>>>,
+    /// Live progress reporting, off (`None`) by default. Like the stop
+    /// conditions, progress is observed at start-vertex granularity.
+    progress: Option<Progress>,
+    /// Whether `spend` must accumulate iteration counts (a budget cap is
+    /// set, or progress wants a throughput figure).
+    track_iters: bool,
+}
+
+/// Shared live-progress state. Workers touch two relaxed atomics per task;
+/// the report itself is emitted under a `try_lock` that is simply skipped
+/// on contention, so no worker ever blocks on reporting.
+struct Progress {
+    total: u64,
+    done: AtomicU64,
+    quarantined: AtomicU64,
+    started: Instant,
+    cadence: ProgressCadence,
+    /// Microseconds (since `started`) of the last emitted report.
+    last_emit_us: AtomicU64,
+    emitter: Mutex<Emitter>,
+}
+
+struct Emitter {
+    heartbeat: Option<std::fs::File>,
+}
+
+impl Progress {
+    fn new(total: u64, opts: &ProgressOptions) -> Progress {
+        let heartbeat = opts.heartbeat.as_ref().and_then(|path| {
+            match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    eprintln!("[progress] cannot open heartbeat file {}: {e}", path.display());
+                    None
+                }
+            }
+        });
+        Progress {
+            total,
+            done: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            started: Instant::now(),
+            cadence: opts.cadence,
+            last_emit_us: AtomicU64::new(0),
+            emitter: Mutex::new(Emitter { heartbeat }),
+        }
+    }
+
+    fn task_done(&self, ok: bool, iters: u64) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !ok {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+        let due = match self.cadence {
+            ProgressCadence::Tasks(n) => done.is_multiple_of(n),
+            ProgressCadence::Wall(every) => {
+                let now_us = self.started.elapsed().as_micros() as u64;
+                now_us.saturating_sub(self.last_emit_us.load(Ordering::Relaxed))
+                    >= every.as_micros() as u64
+            }
+        };
+        if due {
+            self.emit(iters, None, None);
+        }
+    }
+
+    /// Emits one report if the emitter lock is free; otherwise another
+    /// worker is mid-report and this occurrence is dropped.
+    fn emit(&self, iters: u64, stragglers: Option<u64>, status: Option<&'static str>) {
+        let Ok(mut em) = self.emitter.try_lock() else {
+            return;
+        };
+        let elapsed_us = self.started.elapsed().as_micros() as u64;
+        self.last_emit_us.store(elapsed_us, Ordering::Relaxed);
+        let snap = ProgressSnapshot {
+            elapsed_us,
+            done: self.done.load(Ordering::Relaxed),
+            total: self.total,
+            setop_iterations: iters,
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            stragglers,
+            status,
+        };
+        eprintln!("{}", snap.line());
+        if let Some(f) = &mut em.heartbeat {
+            let _ = writeln!(f, "{}", snap.heartbeat_json());
+        }
+    }
 }
 
 impl<'t> Monitor<'t> {
@@ -150,6 +241,32 @@ impl<'t> Monitor<'t> {
             max_iters: budget.max_setop_iterations,
             spent_iters: AtomicU64::new(0),
             task_times: None,
+            progress: None,
+            track_iters: budget.max_setop_iterations.is_some(),
+        }
+    }
+
+    /// Turns on live progress reporting over `total` pending tasks (before
+    /// the monitor is shared with workers). Iteration tracking is enabled
+    /// as a side effect so reports can carry a set-op throughput figure.
+    pub(crate) fn enable_progress(&mut self, total: u64, opts: &ProgressOptions) {
+        self.progress = Some(Progress::new(total, opts));
+        self.track_iters = true;
+    }
+
+    /// Reports one finished task (`ok = false` means quarantined) to the
+    /// progress reporter, if one is on.
+    pub(crate) fn task_finished(&self, ok: bool) {
+        if let Some(p) = &self.progress {
+            p.task_done(ok, self.spent_iters.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Emits the final progress report (with the end-of-run straggler
+    /// count and status, which are unknowable mid-run).
+    pub(crate) fn finish_progress(&self, stragglers: u64, status: &'static str) {
+        if let Some(p) = &self.progress {
+            p.emit(self.spent_iters.load(Ordering::Relaxed), Some(stragglers), Some(status));
         }
     }
 
@@ -180,9 +297,11 @@ impl<'t> Monitor<'t> {
             .unwrap_or_default()
     }
 
-    /// Publishes `iters` newly consumed set-op iterations.
+    /// Publishes `iters` newly consumed set-op iterations. Accumulated
+    /// only when someone consumes the figure (a budget cap or a progress
+    /// reporter), so unobserved runs skip the atomic entirely.
     pub(crate) fn spend(&self, iters: u64) {
-        if self.max_iters.is_some() && iters > 0 {
+        if self.track_iters && iters > 0 {
             self.spent_iters.fetch_add(iters, Ordering::Relaxed);
         }
     }
@@ -253,6 +372,25 @@ mod tests {
         let m = Monitor::new(None, Budget::unlimited());
         m.spend(u64::MAX / 2);
         assert_eq!(m.should_stop(), None);
+    }
+
+    #[test]
+    fn progress_tracking_enables_iteration_accounting() {
+        let mut m = Monitor::new(None, Budget::unlimited());
+        // No budget cap: iterations are normally not accumulated...
+        m.spend(5);
+        assert_eq!(m.spent_iters.load(Ordering::Relaxed), 0);
+        // ...but enabling progress turns the accounting on (cadence far
+        // enough out that no report is emitted from this test).
+        m.enable_progress(4, &ProgressOptions::every_tasks(1 << 30));
+        m.spend(7);
+        assert_eq!(m.spent_iters.load(Ordering::Relaxed), 7);
+        m.task_finished(true);
+        m.task_finished(false);
+        let p = m.progress.as_ref().expect("progress enabled");
+        assert_eq!(p.total, 4);
+        assert_eq!(p.done.load(Ordering::Relaxed), 2);
+        assert_eq!(p.quarantined.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -11,10 +11,12 @@ use crate::cmap::{ConnectivityMap, HashCmap};
 use crate::fail_point;
 use crate::result::{Fault, MiningResult, RunStatus, WorkCounters};
 use crate::setops;
+use crate::telemetry::Collector;
 use crate::EngineConfig;
 use fm_graph::{orient_by_degree, CsrGraph, HubBitmaps, VertexId};
 use fm_plan::lowering::{lower, LowerOptions, Program};
 use fm_plan::{ExecutionPlan, FrontierHint};
+use fm_telemetry::TraceClock;
 use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -138,6 +140,13 @@ struct State {
     /// Start vertices abandoned after exhausting the configured retries
     /// (one record per vertex: its final failed attempt).
     quarantined: Vec<Fault>,
+    /// Per-worker telemetry collection; `None` (one null check on the
+    /// candidate-generation path) unless the run is observed. Depth
+    /// metrics charge work as it happens, so a faulted-then-rolled-back
+    /// attempt's work stays visible in telemetry even though the result
+    /// counters exclude it — telemetry measures work performed, results
+    /// report work kept.
+    telemetry: Option<Box<Collector>>,
 }
 
 impl State {
@@ -156,6 +165,7 @@ impl State {
             completed: Vec::new(),
             faults: Vec::new(),
             quarantined: Vec::new(),
+            telemetry: None,
         }
     }
 }
@@ -341,6 +351,33 @@ impl<'g> Executor<'g> {
         &self.state.quarantined
     }
 
+    /// Installs this worker's telemetry collector (observed runs only).
+    pub(crate) fn set_telemetry(&mut self, collector: Box<Collector>) {
+        self.state.telemetry = Some(collector);
+    }
+
+    /// The run's trace clock, when span collection is on.
+    pub(crate) fn telemetry_clock(&self) -> Option<TraceClock> {
+        self.state.telemetry.as_ref().and_then(|t| t.clock)
+    }
+
+    /// Whether telemetry wants task boundaries timed (histogram or spans).
+    pub(crate) fn telemetry_times_tasks(&self) -> bool {
+        self.state.telemetry.is_some()
+    }
+
+    /// Records one finished start-vertex task into the collector.
+    pub(crate) fn telemetry_task_finished(
+        &mut self,
+        vid: u32,
+        span_start_us: Option<u64>,
+        elapsed: std::time::Duration,
+    ) {
+        if let Some(t) = self.state.telemetry.as_deref_mut() {
+            t.record_task(vid, span_start_us, elapsed);
+        }
+    }
+
     /// Consumes the executor and returns counts and work counters. The
     /// status is [`RunStatus::Degraded`] if any start vertex exhausted its
     /// retries and was quarantined (a fault that healed on a retry does
@@ -359,6 +396,7 @@ impl<'g> Executor<'g> {
             completed: self.state.completed,
             faults: self.state.faults,
             quarantined: self.state.quarantined,
+            telemetry: self.state.telemetry.map(|c| Box::new(c.into_shard())),
             ..MiningResult::default()
         }
     }
@@ -460,6 +498,7 @@ fn step(
             let hub = hubs.and_then(|h| h.row(v));
             let src = state.core_at[d - 1];
             let merge_bound = if node.bounded_build { bound } else { None };
+            let work_before = state.telemetry.is_some().then_some(state.work);
             let found = setops::intersect_adaptive_count(
                 &state.frontiers[src],
                 adj,
@@ -468,6 +507,9 @@ fn step(
                 hub,
                 &mut state.work,
             );
+            if let (Some(t), Some(before)) = (state.telemetry.as_deref_mut(), work_before) {
+                t.charge_setops(d, before, state.work);
+            }
             state.counts[pi] += found;
             state.work.candidates_checked += found;
             state.work.extensions += found;
@@ -475,10 +517,21 @@ fn step(
         }
     }
 
+    let work_before = state.telemetry.is_some().then_some(state.work);
     build_core(g, hubs, cfg, prog, state, node_idx, bound);
 
     let core = state.core_at[d];
     let len = state.frontiers[core].len();
+
+    // Observed runs: charge this level's candidate-generation delta (all
+    // build_core arms — merges, gallops, probes, and c-map traffic) to
+    // depth `d`, and sample the size of any newly materialized frontier.
+    if let (Some(t), Some(before)) = (state.telemetry.as_deref_mut(), work_before) {
+        t.charge_setops(d, before, state.work);
+        if node.frontier != FrontierHint::Reuse {
+            t.record_frontier(len);
+        }
+    }
 
     // Leaf fast path: a terminal pattern level only needs its qualifying
     // candidates *counted* — GraphZero's generated code ends in exactly

@@ -51,6 +51,7 @@ pub mod oblivious;
 pub mod parallel;
 pub mod result;
 pub mod setops;
+pub mod telemetry;
 
 /// Reports a named failpoint hit in instrumented builds (`cfg(test)` or
 /// the `failpoints` feature); expands to nothing otherwise, so release
@@ -70,10 +71,11 @@ pub use checkpoint::{
 pub use control::{Budget, CancelToken};
 pub use executor::{mine_single_threaded, prepare, Executor, PreparedGraph};
 pub use parallel::{
-    mine, mine_prepared, mine_prepared_with_cancel, mine_resumed, mine_with_cancel,
-    mine_with_recovery, Recovery,
+    mine, mine_observed, mine_prepared, mine_prepared_observed, mine_prepared_with_cancel,
+    mine_resumed, mine_with_cancel, mine_with_recovery, Recovery,
 };
 pub use result::{Fault, MiningResult, RunStatus, Straggler, WorkCounters};
+pub use telemetry::{ProgressOptions, TelemetryOptions};
 
 /// Configuration of the software mining engines.
 ///

@@ -21,9 +21,11 @@ use crate::checkpoint::{
 use crate::control::{CancelToken, Monitor, StopKind};
 use crate::executor::{payload_string, prepare, Executor, PreparedGraph};
 use crate::result::{detect_stragglers, Fault, MiningResult, RunStatus, WorkCounters};
+use crate::telemetry::TelemetryOptions;
 use crate::EngineConfig;
 use fm_graph::{CsrGraph, VertexId};
 use fm_plan::ExecutionPlan;
+use fm_telemetry::Span;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -89,7 +91,20 @@ pub fn mine_prepared_with_cancel(
     cfg: &EngineConfig,
     cancel: Option<&CancelToken>,
 ) -> MiningResult {
-    run_with_control(g, plan, cfg, cancel, None, None, None)
+    run_with_control(g, plan, cfg, cancel, None, None, None, &TelemetryOptions::default())
+}
+
+/// [`mine_prepared`] with telemetry collection: depth/tier metrics, spans,
+/// and/or live progress per `telemetry`. With the default (disabled)
+/// options this is exactly [`mine_prepared`] — the overhead-ablation bench
+/// compares the two on the same prepared graph.
+pub fn mine_prepared_observed(
+    g: &PreparedGraph<'_>,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+    telemetry: &TelemetryOptions,
+) -> MiningResult {
+    run_with_control(g, plan, cfg, None, None, None, None, telemetry)
 }
 
 /// Durable-recovery options for [`mine_with_recovery`]: periodic
@@ -127,10 +142,38 @@ pub fn mine_with_recovery(
     cancel: Option<&CancelToken>,
     recovery: Recovery,
 ) -> Result<MiningResult, CheckpointError> {
+    mine_observed(graph, plan, cfg, cancel, recovery, &TelemetryOptions::default())
+}
+
+/// The fully-general entry point: [`mine_with_recovery`] plus telemetry.
+/// All observability — depth/tier metrics, Chrome-trace spans (including
+/// `prepare` and `checkpoint-write`), and live progress — is selected by
+/// `telemetry`; the default options make this identical to
+/// [`mine_with_recovery`], which is itself identical to [`mine`] with
+/// default [`Recovery`]. Telemetry never changes counts or
+/// [`WorkCounters`]; it only adds the [`MiningResult::telemetry`] shard.
+///
+/// # Errors
+///
+/// Same contract as [`mine_with_recovery`]: only resume validation and
+/// snapshot loading error the run.
+pub fn mine_observed(
+    graph: &CsrGraph,
+    plan: &ExecutionPlan,
+    cfg: &EngineConfig,
+    cancel: Option<&CancelToken>,
+    recovery: Recovery,
+    telemetry: &TelemetryOptions,
+) -> Result<MiningResult, CheckpointError> {
     if let Some(snapshot) = &recovery.resume {
         snapshot.validate(graph, plan, cfg)?;
     }
+    let prepare_start = telemetry.trace.map(|c| c.now_us());
     let prepared = prepare(graph, plan, cfg);
+    let prepare_span = telemetry.trace.map(|clock| {
+        let start = prepare_start.unwrap_or(0);
+        Span::close(&clock, "prepare", "engine", start, 0, None)
+    });
     let (seed, skip) = match recovery.resume {
         Some(snapshot) => {
             let seed = MiningResult {
@@ -154,8 +197,22 @@ pub fn mine_with_recovery(
         Some((seed, sink_seed)) => (Some(seed), sink_seed),
         None => (None, Checkpoint::empty(graph, plan, cfg, plan.patterns.len())),
     };
-    let sink = recovery.checkpoint.map(|ckpt| CheckpointSink::new(ckpt, sink_seed));
-    Ok(run_with_control(&prepared, plan, cfg, cancel, skip.as_ref(), sink.as_ref(), seed))
+    let sink =
+        recovery.checkpoint.map(|ckpt| CheckpointSink::new(ckpt, sink_seed, telemetry.trace));
+    let mut result = run_with_control(
+        &prepared,
+        plan,
+        cfg,
+        cancel,
+        skip.as_ref(),
+        sink.as_ref(),
+        seed,
+        telemetry,
+    );
+    if let Some(span) = prepare_span {
+        result.telemetry.get_or_insert_with(Default::default).absorb_spans(vec![span], 0);
+    }
+    Ok(result)
 }
 
 /// Loads the checkpoint at `path`, validates it against this job, and
@@ -185,6 +242,15 @@ pub fn mine_resumed(
 ///
 /// `skip` lists the start vertices already covered by `seed` (a resumed
 /// snapshot's contribution, merged into the final result).
+///
+/// Telemetry plumbing: each worker gets its own [`Collector`]
+/// (worker `w` reports as trace tid `w + 1`; the driver is tid 0), so the
+/// hot path never shares telemetry state across threads. Shards ride back
+/// through [`MiningResult::merge`]; driver-side spans (`mine`,
+/// `checkpoint-write`) are absorbed at the end.
+///
+/// [`Collector`]: crate::telemetry::Collector
+#[allow(clippy::too_many_arguments)]
 fn run_with_control(
     g: &PreparedGraph<'_>,
     plan: &ExecutionPlan,
@@ -193,14 +259,23 @@ fn run_with_control(
     skip: Option<&CompletedSet>,
     sink: Option<&CheckpointSink>,
     seed: Option<MiningResult>,
+    telemetry: &TelemetryOptions,
 ) -> MiningResult {
     let n = g.num_vertices() as u32;
+    let mine_start = telemetry.trace.map(|c| c.now_us());
     let mut monitor = Monitor::new(cancel, cfg.budget);
     if cfg.straggler_ratio > 0 {
         monitor.enable_timing();
     }
+    if let Some(p) = &telemetry.progress {
+        let total_tasks = (0..n).filter(|&v| !skip.is_some_and(|s| s.contains(v))).count() as u64;
+        monitor.enable_progress(total_tasks, p);
+    }
     let mut total = if cfg.threads <= 1 {
         let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
+        if let Some(c) = telemetry.collector(1) {
+            ex.set_telemetry(c);
+        }
         let mut times = monitor.timing_enabled().then(Vec::new);
         let stop = drive(
             &mut ex,
@@ -231,12 +306,15 @@ fn run_with_control(
         let chunk = cfg.chunk_size.max(1);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..cfg.threads)
-                .map(|_| {
+                .map(|w| {
                     let cursor = &cursor;
                     let pending = pending.as_slice();
                     let monitor = &monitor;
                     scope.spawn(move || {
                         let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
+                        if let Some(c) = telemetry.collector(w as u32 + 1) {
+                            ex.set_telemetry(c);
+                        }
                         let mut times = monitor.timing_enabled().then(Vec::new);
                         let mut stop = None;
                         while stop.is_none() {
@@ -307,7 +385,18 @@ fn run_with_control(
             total.checkpoint_error.get_or_insert(err);
         }
     }
-    finalize(total)
+    if let Some(clock) = telemetry.trace {
+        let mut driver_spans = Vec::new();
+        if let Some(sink) = sink {
+            driver_spans.extend(sink.take_spans());
+        }
+        let start = mine_start.unwrap_or(0);
+        driver_spans.push(Span::close(&clock, "mine", "engine", start, 0, None));
+        total.telemetry.get_or_insert_with(Default::default).absorb_spans(driver_spans, 0);
+    }
+    let total = finalize(total);
+    monitor.finish_progress(total.stragglers.len() as u64, total.status.as_str());
+    total
 }
 
 /// Runs `vids` through `ex` with per-task isolation and control polling,
@@ -321,15 +410,24 @@ fn drive(
     mut times: Option<&mut Vec<(u32, Duration)>>,
 ) -> Option<StopKind> {
     let mut published = ex.setop_iterations_so_far();
+    let telemetry_times = ex.telemetry_times_tasks();
+    let telemetry_clock = ex.telemetry_clock();
     for v in vids {
         if let Some(kind) = monitor.should_stop() {
             return Some(kind);
         }
-        let started = times.is_some().then(Instant::now);
+        let started = (times.is_some() || telemetry_times).then(Instant::now);
+        let span_start = telemetry_clock.as_ref().map(|c| c.now_us());
         let snapshot = sink.map(|_| TaskSnapshot::of(ex));
         let ok = ex.run_vertex_isolated(v);
-        if let (Some(times), Some(started)) = (times.as_mut(), started) {
-            times.push((v.0, started.elapsed()));
+        if let Some(started) = started {
+            let elapsed = started.elapsed();
+            if let Some(times) = times.as_mut() {
+                times.push((v.0, elapsed));
+            }
+            if telemetry_times {
+                ex.telemetry_task_finished(v.0, span_start, elapsed);
+            }
         }
         if let (Some(sink), Some(snapshot)) = (sink, snapshot) {
             snapshot.publish(sink, ex, v.0, ok);
@@ -337,6 +435,7 @@ fn drive(
         let spent = ex.setop_iterations_so_far();
         monitor.spend(spent - published);
         published = spent;
+        monitor.task_finished(ok);
     }
     None
 }
@@ -536,6 +635,59 @@ mod tests {
             }
             assert_eq!(r.counts, ex.finish().counts, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_carries_depth_shard() {
+        let g = generators::powerlaw_cluster(150, 4, 0.5, 11);
+        let plan = compile(&Pattern::k_clique(4), CompileOptions::default());
+        let telemetry = TelemetryOptions { metrics: true, ..Default::default() };
+        for threads in [1, 4] {
+            let cfg = EngineConfig::with_threads(threads);
+            let prepared = prepare(&g, &plan, &cfg);
+            let plain = mine_prepared(&prepared, &plan, &cfg);
+            let observed = mine_prepared_observed(&prepared, &plan, &cfg, &telemetry);
+            // Telemetry must not perturb results: counts AND work counters
+            // are bit-identical, the only difference is the shard.
+            assert_eq!(observed.counts, plain.counts, "{threads} threads");
+            assert_eq!(observed.work, plain.work, "{threads} threads");
+            assert!(plain.telemetry.is_none());
+            let shard = observed.telemetry.as_deref().expect("metrics shard");
+            // Every set-op iteration is charged to exactly one depth.
+            let charged: u64 = shard.depth_setop_iterations.iter().sum();
+            assert_eq!(charged, observed.work.setop_iterations, "{threads} threads");
+            let invocations: u64 = shard.depth_setop_invocations.iter().sum();
+            assert_eq!(invocations, observed.work.setop_invocations, "{threads} threads");
+            assert!(shard.task_micros.count > 0);
+        }
+    }
+
+    #[test]
+    fn traced_run_emits_engine_spans() {
+        let g = generators::erdos_renyi(60, 0.2, 5);
+        let plan = compile(&Pattern::triangle(), CompileOptions::default());
+        let telemetry = TelemetryOptions {
+            trace: Some(fm_telemetry::TraceClock::start()),
+            ..Default::default()
+        };
+        let r = mine_observed(
+            &g,
+            &plan,
+            &EngineConfig::with_threads(2),
+            None,
+            Recovery::default(),
+            &telemetry,
+        )
+        .unwrap();
+        let shard = r.telemetry.as_deref().expect("trace shard");
+        let names: Vec<&str> = shard.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"prepare"), "{names:?}");
+        assert!(names.contains(&"mine"), "{names:?}");
+        assert!(names.contains(&"start-vertex-task"), "{names:?}");
+        // Driver spans carry tid 0; worker task spans tids >= 1.
+        assert!(shard.spans.iter().any(|s| s.name == "start-vertex-task" && s.tid >= 1));
+        // Tracing alone leaves metrics empty.
+        assert!(shard.depth_setop_iterations.is_empty());
     }
 
     #[test]

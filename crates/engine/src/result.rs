@@ -9,6 +9,32 @@ use std::time::Duration;
 /// These are the software analogues of the hardware event counters in the
 /// simulator, and back the motivation analysis of §III (set operations
 /// dominate; frequent comparisons cause branch mispredictions).
+///
+/// # Dispatch-tier invariant
+///
+/// The three dispatch counters — [`merge_dispatches`], [`gallop_dispatches`],
+/// and [`probe_dispatches`] — are charged *only* by the adaptive
+/// dispatchers in [`setops`](crate::setops), exactly one per dispatcher
+/// call, and every dispatcher call runs exactly one kernel (which charges
+/// [`setop_invocations`] exactly once). So for any span of work routed
+/// through the dispatchers:
+///
+/// ```text
+/// merge_dispatches + gallop_dispatches + probe_dispatches == setop_invocations
+/// ```
+///
+/// This holds globally for the default (adaptive) plan-driven executor,
+/// where every kernel invocation goes through a dispatcher. It does *not*
+/// hold for `paper_faithful` mode, the simulator's PE models, or the
+/// pattern-oblivious baseline, which call kernels directly: there the
+/// dispatch counters stay zero while `setop_invocations` advances. The
+/// invariant is debug-asserted inside each dispatcher and pinned by a unit
+/// test in `setops`.
+///
+/// [`merge_dispatches`]: WorkCounters::merge_dispatches
+/// [`gallop_dispatches`]: WorkCounters::gallop_dispatches
+/// [`probe_dispatches`]: WorkCounters::probe_dispatches
+/// [`setop_invocations`]: WorkCounters::setop_invocations
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct WorkCounters {
     /// Merge-loop iterations across all set intersections/differences
@@ -36,7 +62,10 @@ pub struct WorkCounters {
     pub merge_dispatches: u64,
     /// Candidate-generation ops dispatched to galloping (binary search).
     pub gallop_dispatches: u64,
-    /// Candidate-generation ops dispatched to a hub-bitmap probe kernel.
+    /// Candidate-generation ops dispatched to a hub-bitmap probe kernel
+    /// (the third dispatch tier; see the dispatch-tier invariant in the
+    /// type docs — the three dispatch counters partition
+    /// [`setop_invocations`](Self::setop_invocations) in adaptive mode).
     pub probe_dispatches: u64,
 }
 
@@ -115,6 +144,17 @@ impl RunStatus {
     /// stop or degradation).
     pub fn is_partial(&self) -> bool {
         !self.is_complete()
+    }
+
+    /// Stable name for progress lines, heartbeats, and metric labels.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RunStatus::Complete => "Complete",
+            RunStatus::Degraded => "Degraded",
+            RunStatus::BudgetExhausted => "BudgetExhausted",
+            RunStatus::DeadlineExceeded => "DeadlineExceeded",
+            RunStatus::Cancelled => "Cancelled",
+        }
     }
 }
 
@@ -223,6 +263,13 @@ pub struct MiningResult {
     /// unaffected (mining never stops because durability did), but a
     /// resume may replay more work than the interval promised.
     pub checkpoint_error: Option<String>,
+    /// Merged telemetry (depth-resolved metrics, histograms, spans) when
+    /// the run was observed via
+    /// [`TelemetryOptions`](crate::TelemetryOptions); `None` — costing one
+    /// null check — on ordinary runs, which keeps telemetry-off results
+    /// bit-identical to the pre-telemetry engine. Boxed so the common
+    /// `None` case does not widen every result.
+    pub telemetry: Option<Box<fm_telemetry::TelemetryShard>>,
 }
 
 impl MiningResult {
@@ -263,6 +310,15 @@ impl MiningResult {
         self.stragglers.extend_from_slice(&other.stragglers);
         if self.checkpoint_error.is_none() {
             self.checkpoint_error = other.checkpoint_error.clone();
+        }
+        // Telemetry shards merge commutatively (element-wise sums plus
+        // canonical span ordering), preserving this method's
+        // order-independence guarantee.
+        if let Some(other_shard) = &other.telemetry {
+            match &mut self.telemetry {
+                Some(shard) => shard.merge(other_shard),
+                None => self.telemetry = Some(other_shard.clone()),
+            }
         }
     }
 
@@ -420,6 +476,32 @@ mod tests {
         assert_eq!(out.len(), MAX_STRAGGLERS);
         assert!(out.windows(2).all(|w| w[0].elapsed >= w[1].elapsed));
         assert_eq!(out[0].vid, 190);
+    }
+
+    #[test]
+    fn merge_combines_telemetry_shards_commutatively() {
+        let shard = |iters: u64| {
+            let mut s = fm_telemetry::TelemetryShard::new();
+            fm_telemetry::shard::charge_depth(&mut s.depth_setop_iterations, 1, iters);
+            s.frontier_sizes.record(iters);
+            Some(Box::new(s))
+        };
+        let a = MiningResult { telemetry: shard(3), ..MiningResult::empty(1) };
+        let b = MiningResult { telemetry: shard(11), ..MiningResult::empty(1) };
+        let mut ab = MiningResult::empty(1);
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MiningResult::empty(1);
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let shard = ab.telemetry.expect("merged shard");
+        assert_eq!(shard.depth_setop_iterations, vec![0, 14]);
+        assert_eq!(shard.frontier_sizes.count, 2);
+        // Merging a telemetry-free result leaves the shard untouched.
+        let mut with = MiningResult { telemetry: Some(shard), ..MiningResult::empty(1) };
+        with.merge(&MiningResult::empty(1));
+        assert!(with.telemetry.is_some());
     }
 
     #[test]

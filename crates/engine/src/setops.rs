@@ -429,6 +429,30 @@ fn choose_tier(a_len: usize, b_len: usize, gallop_ratio: usize, hub: bool) -> Ti
     }
 }
 
+/// Sum of the dispatch-tier counters plus the invocation counter, captured
+/// before a dispatcher call to verify the dispatch-tier invariant (see the
+/// note on [`WorkCounters`]).
+#[cfg(debug_assertions)]
+fn dispatch_snapshot(work: &WorkCounters) -> (u64, u64) {
+    (work.merge_dispatches + work.gallop_dispatches + work.probe_dispatches, work.setop_invocations)
+}
+
+/// Debug-checks the dispatch-tier invariant around one dispatcher call:
+/// exactly one tier counter moved, and exactly one kernel invocation was
+/// charged — so `merge + gallop + probe == setop_invocations` over any
+/// span of dispatcher-routed work.
+#[cfg(debug_assertions)]
+fn assert_dispatched_once(before: (u64, u64), work: &WorkCounters) {
+    let (dispatches, invocations) = dispatch_snapshot(work);
+    debug_assert_eq!(dispatches - before.0, 1, "adaptive dispatch must pick exactly one tier");
+    debug_assert_eq!(
+        invocations - before.1,
+        1,
+        "adaptive dispatch must invoke exactly one kernel (the dispatch \
+         counters must partition setop_invocations)"
+    );
+}
+
 /// Adaptive intersection dispatch: a bounded (or plain) merge by default,
 /// switching to galloping when one input is at least `gallop_ratio` times
 /// smaller than the other (`0` disables galloping), and to a bitmap probe
@@ -448,6 +472,8 @@ pub fn intersect_adaptive_into(
     out: &mut Vec<VertexId>,
     work: &mut WorkCounters,
 ) {
+    #[cfg(debug_assertions)]
+    let snap = dispatch_snapshot(work);
     match choose_tier(a.len(), b.len(), gallop_ratio, hub.is_some()) {
         Tier::Probe => {
             work.probe_dispatches += 1;
@@ -473,6 +499,8 @@ pub fn intersect_adaptive_into(
             }
         }
     }
+    #[cfg(debug_assertions)]
+    assert_dispatched_once(snap, work);
 }
 
 /// Counting twin of [`intersect_adaptive_into`]: same tier rule, same
@@ -485,7 +513,9 @@ pub fn intersect_adaptive_count(
     hub: Option<HubRow<'_>>,
     work: &mut WorkCounters,
 ) -> u64 {
-    match choose_tier(a.len(), b.len(), gallop_ratio, hub.is_some()) {
+    #[cfg(debug_assertions)]
+    let snap = dispatch_snapshot(work);
+    let found = match choose_tier(a.len(), b.len(), gallop_ratio, hub.is_some()) {
         Tier::Probe => {
             work.probe_dispatches += 1;
             let row = hub.expect("probe tier requires a hub row");
@@ -509,7 +539,10 @@ pub fn intersect_adaptive_count(
                 None => intersect_count(a, b, work),
             }
         }
-    }
+    };
+    #[cfg(debug_assertions)]
+    assert_dispatched_once(snap, work);
+    found
 }
 
 /// Adaptive difference dispatch: probes whenever the subtrahend is an
@@ -525,6 +558,8 @@ pub fn difference_adaptive_into(
     out: &mut Vec<VertexId>,
     work: &mut WorkCounters,
 ) {
+    #[cfg(debug_assertions)]
+    let snap = dispatch_snapshot(work);
     match hub {
         Some(row) => {
             work.probe_dispatches += 1;
@@ -541,6 +576,8 @@ pub fn difference_adaptive_into(
             }
         }
     }
+    #[cfg(debug_assertions)]
+    assert_dispatched_once(snap, work);
 }
 
 #[cfg(test)]
@@ -549,6 +586,43 @@ mod tests {
 
     fn v(ids: &[u32]) -> Vec<VertexId> {
         ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    /// ISSUE satellite: the three dispatch-tier counters partition
+    /// `setop_invocations` across any mix of adaptive dispatches — the
+    /// invariant documented on [`WorkCounters`] and debug-asserted inside
+    /// each dispatcher.
+    #[test]
+    fn dispatch_tiers_partition_setop_invocations() {
+        let small = v(&[3, 5]);
+        let large: Vec<VertexId> = (1..=399).step_by(2).map(VertexId).collect();
+        // A hub index whose row 0 covers `large`, so the probe tier is
+        // reachable.
+        let idx = hub_fixture(399);
+        let row = idx.row(VertexId(0)).expect("vertex 0 is a hub");
+
+        let mut w = WorkCounters::default();
+        let mut out = Vec::new();
+        // Probe tier: hub row present and |b| >= |a|.
+        intersect_adaptive_into(&small, &large, None, 16, Some(row), &mut out, &mut w);
+        // Gallop tier: heavily skewed sizes, no hub.
+        intersect_adaptive_into(&small, &large, None, 16, None, &mut out, &mut w);
+        // Merge tier: balanced sizes (with a bound, which charges extra
+        // comparisons via bounded_prefix but no extra invocation).
+        intersect_adaptive_into(&small, &small, Some(VertexId(4)), 16, None, &mut out, &mut w);
+        // Count-only and difference dispatchers uphold the same rule.
+        intersect_adaptive_count(&small, &large, None, 16, None, &mut w);
+        difference_adaptive_into(&small, &large, None, Some(row), &mut out, &mut w);
+        difference_adaptive_into(&small, &small, None, None, &mut out, &mut w);
+
+        assert_eq!(w.setop_invocations, 6);
+        assert_eq!(
+            w.merge_dispatches + w.gallop_dispatches + w.probe_dispatches,
+            w.setop_invocations
+        );
+        assert_eq!(w.probe_dispatches, 2);
+        assert_eq!(w.gallop_dispatches, 2);
+        assert_eq!(w.merge_dispatches, 2);
     }
 
     #[test]

@@ -99,6 +99,14 @@ pub struct SimConfig {
     /// hanging the host. `0` (the default) disables the watchdog; counts in
     /// a tripped report are partial and must not be normalized.
     pub watchdog_cycles: u64,
+    /// Timeline sampling interval in cycles: every `timeline_every` cycles
+    /// the machine appends a [`TimelineSample`](crate::TimelineSample)
+    /// (cache and c-map hit-rate counters, PE busy/done state) to
+    /// [`SimReport::timeline`](crate::SimReport::timeline). Samples are
+    /// taken at epoch boundaries, so the effective resolution is
+    /// `max(timeline_every, epoch)`. `0` (the default) disables sampling;
+    /// sampling never changes counts, cycles, or any other counter.
+    pub timeline_every: u64,
 }
 
 impl Default for SimConfig {
@@ -128,6 +136,7 @@ impl Default for SimConfig {
             epoch: 4096,
             frontier_memo: true,
             watchdog_cycles: 0,
+            timeline_every: 0,
         }
     }
 }
@@ -194,6 +203,7 @@ mod tests {
         assert_eq!(c.dram.channels, 4);
         assert!(c.cmap_enabled());
         assert_eq!(c.watchdog_cycles, 0); // watchdog off by default
+        assert_eq!(c.timeline_every, 0); // timeline sampling off by default
     }
 
     #[test]

@@ -61,4 +61,4 @@ pub mod stats;
 pub use config::{DramConfig, SimConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use machine::simulate;
-pub use stats::{PeFsmState, SimReport, WatchdogDump};
+pub use stats::{PeFsmState, SimReport, TimelineSample, WatchdogDump, FSM_STATE_NAMES};

@@ -4,7 +4,7 @@ use crate::addr::AddressMap;
 use crate::config::SimConfig;
 use crate::mem::MemorySystem;
 use crate::pe::Pe;
-use crate::stats::{SimReport, WatchdogDump};
+use crate::stats::{SimReport, TimelineSample, WatchdogDump};
 use fm_engine::executor::prepare_graph;
 use fm_graph::CsrGraph;
 use fm_plan::lowering::{lower, LowerOptions};
@@ -78,6 +78,8 @@ pub fn simulate(graph: &CsrGraph, plan: &ExecutionPlan, cfg: &SimConfig) -> SimR
         (0..cfg.num_pes.max(1)).map(|i| Pe::new(i, cfg, prog.depth, plan.patterns.len())).collect();
 
     let mut watchdog: Option<WatchdogDump> = None;
+    let mut timeline: Vec<TimelineSample> = Vec::new();
+    let mut next_sample = cfg.timeline_every;
     let mut deadline = cfg.epoch.max(1);
     loop {
         let mut all_done = true;
@@ -86,6 +88,20 @@ pub fn simulate(graph: &CsrGraph, plan: &ExecutionPlan, cfg: &SimConfig) -> SimR
             all_done &= pe.done;
         }
         shared.end_epoch(cfg.epoch.max(1));
+        // Timeline sampling at epoch granularity: cumulative counters at
+        // this boundary; pure observation, never perturbs the run.
+        if cfg.timeline_every > 0 && deadline >= next_sample {
+            timeline.push(TimelineSample {
+                cycle: deadline,
+                l2_accesses: shared.l2_accesses,
+                l2_misses: shared.l2_misses,
+                cmap_reads: pes.iter().map(|p| p.stats.cmap_reads).sum(),
+                cmap_writes: pes.iter().map(|p| p.stats.cmap_writes).sum(),
+                busy_cycles: pes.iter().map(|p| p.stats.busy_cycles).sum(),
+                done_pes: pes.iter().filter(|p| p.done).count(),
+            });
+            next_sample = deadline + cfg.timeline_every;
+        }
         if all_done {
             break;
         }
@@ -110,8 +126,10 @@ pub fn simulate(graph: &CsrGraph, plan: &ExecutionPlan, cfg: &SimConfig) -> SimR
             pes.iter().map(|p| p.finish).max().unwrap_or(0)
         },
         watchdog,
+        timeline,
         counts: vec![0; plan.patterns.len()],
         pe_finish_cycles: pes.iter().map(|p| p.finish).collect(),
+        pe_occupancy: pes.iter().map(|p| p.stats.occupancy).collect(),
         l2_accesses: shared.l2_accesses,
         l2_misses: shared.l2_misses,
         l2_writebacks: shared.l2_writebacks,
@@ -260,6 +278,54 @@ mod tests {
         assert!(r.cmap_read_ratio() > 0.5, "read ratio {}", r.cmap_read_ratio());
         assert!(r.seconds(&cfg) > 0.0);
         assert!(r.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn occupancy_partitions_busy_cycles() {
+        let g = generators::powerlaw_cluster(150, 4, 0.5, 3);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let r = simulate(&g, &plan, &SimConfig::with_pes(4));
+        assert_eq!(r.pe_occupancy.len(), 4);
+        // Per PE the occupancy classes exactly partition its busy cycles;
+        // aggregated, they partition the machine total.
+        let machine: u64 = r.pe_occupancy.iter().flatten().sum();
+        assert_eq!(machine, r.totals.busy_cycles);
+        assert_eq!(r.totals.occupancy.iter().sum::<u64>(), r.totals.busy_cycles);
+        // A real run exercises every class: scheduler hand-offs (Idle),
+        // embedding pushes (Extending), candidate streaming (Iterating).
+        for class in 0..3 {
+            assert!(
+                r.pe_occupancy.iter().any(|occ| occ[class] > 0),
+                "class {} never charged",
+                crate::stats::FSM_STATE_NAMES[class]
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_sampling_observes_without_perturbing() {
+        let g = generators::powerlaw_cluster(200, 4, 0.5, 7);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let plain = simulate(&g, &plan, &SimConfig::with_pes(3));
+        assert!(plain.timeline.is_empty());
+        let mut cfg = SimConfig::with_pes(3);
+        cfg.timeline_every = cfg.epoch;
+        let sampled = simulate(&g, &plan, &cfg);
+        // Observation only: identical counts, cycles, and counters.
+        assert_eq!(sampled.counts, plain.counts);
+        assert_eq!(sampled.cycles, plain.cycles);
+        assert_eq!(sampled.totals, plain.totals);
+        assert!(!sampled.timeline.is_empty());
+        // Samples are strictly ordered and cumulative (monotone counters).
+        for pair in sampled.timeline.windows(2) {
+            assert!(pair[0].cycle < pair[1].cycle);
+            assert!(pair[0].l2_accesses <= pair[1].l2_accesses);
+            assert!(pair[0].busy_cycles <= pair[1].busy_cycles);
+            assert!(pair[0].done_pes <= pair[1].done_pes);
+        }
+        let last = sampled.timeline.last().unwrap();
+        assert_eq!(last.l2_accesses, sampled.l2_accesses);
+        assert_eq!(last.done_pes, 3);
     }
 
     #[test]

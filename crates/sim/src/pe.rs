@@ -22,7 +22,7 @@ use crate::cmap::HwCmap;
 use crate::config::SimConfig;
 use crate::machine::Scheduler;
 use crate::mem::MemorySystem;
-use crate::stats::{PeFsmState, PeStats};
+use crate::stats::{PeFsmState, PeStats, FSM_EXTENDING, FSM_IDLE, FSM_ITERATING};
 use fm_engine::result::WorkCounters;
 use fm_engine::setops;
 use fm_graph::{CsrGraph, VertexId};
@@ -67,6 +67,10 @@ pub(crate) struct Pe {
     cmap: HwCmap,
     l1: SetAssocCache,
     noc_rt: u64,
+    /// Coarse FSM class currently charged by [`Pe::charge`] (an index
+    /// into [`crate::stats::FSM_STATE_NAMES`]); updated at each FSM
+    /// dispatch so memory stalls land in the state that incurred them.
+    fsm_class: usize,
     pub(crate) counts: Vec<u64>,
     pub(crate) stats: PeStats,
 }
@@ -94,6 +98,7 @@ impl Pe {
             ),
             l1: SetAssocCache::new(cfg.l1_bytes, cfg.l1_assoc, cfg.line_bytes),
             noc_rt: cfg.noc_round_trip(id),
+            fsm_class: FSM_IDLE,
             counts: vec![0; patterns],
             stats: PeStats::default(),
         }
@@ -123,6 +128,7 @@ impl Pe {
     fn charge(&mut self, cycles: u64) {
         self.now += cycles;
         self.stats.busy_cycles += cycles;
+        self.stats.occupancy[self.fsm_class] += cycles;
     }
 
     /// Advances this PE until `deadline` or until it drains the scheduler.
@@ -140,6 +146,7 @@ impl Pe {
         while self.now < deadline && !self.done {
             if self.stack.is_empty() {
                 if self.task_at >= self.task.len() {
+                    self.fsm_class = FSM_IDLE;
                     match sched.next_task() {
                         Some(batch) => {
                             self.task.clear();
@@ -163,6 +170,7 @@ impl Pe {
             let top = self.stack.len() - 1;
             match self.stack[top] {
                 Frame::Enter { node, child, did_insert } => {
+                    self.fsm_class = FSM_EXTENDING;
                     let children = &prog.nodes[node].children;
                     if child < children.len() {
                         let next = children[child];
@@ -199,6 +207,7 @@ impl Pe {
                     }
                 }
                 Frame::Step { node, cand, len, bound, built } => {
+                    self.fsm_class = FSM_ITERATING;
                     if !built {
                         let (new_len, new_bound) = self.build_core(g, map, prog, shared, cfg, node);
                         // Leaf fast path: at a terminal pattern level the
@@ -270,6 +279,7 @@ impl Pe {
     /// Pushes `w` as the embedding vertex for `node`: reducer update,
     /// compiler-directed c-map insertion, and an `Enter` frame.
     fn enter(&mut self, prog: &Program, cfg: &SimConfig, node_idx: usize, w: VertexId) {
+        self.fsm_class = FSM_EXTENDING;
         let node = &prog.nodes[node_idx];
         let d = node.depth;
         debug_assert_eq!(self.emb.len(), d);

@@ -2,6 +2,21 @@
 
 use crate::config::SimConfig;
 
+/// Names of the coarse PE FSM occupancy classes, indexed like
+/// [`PeStats::occupancy`]: `Idle` covers scheduler hand-off between
+/// tasks, `Extending` covers embedding pushes and backtracking, and
+/// `IteratingEdges` covers candidate streaming — core builds (SIU/SDU
+/// merges, c-map probes) and the memory stalls they incur (Fig. 10's
+/// edge-iteration states).
+pub const FSM_STATE_NAMES: [&str; 3] = ["Idle", "Extending", "IteratingEdges"];
+
+/// Occupancy-class index for [`FSM_STATE_NAMES`].
+pub(crate) const FSM_IDLE: usize = 0;
+/// Occupancy-class index for [`FSM_STATE_NAMES`].
+pub(crate) const FSM_EXTENDING: usize = 1;
+/// Occupancy-class index for [`FSM_STATE_NAMES`].
+pub(crate) const FSM_ITERATING: usize = 2;
+
 /// Per-PE event counters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct PeStats {
@@ -34,6 +49,9 @@ pub struct PeStats {
     pub writebacks: u64,
     /// Cycles this PE spent busy (non-idle).
     pub busy_cycles: u64,
+    /// `busy_cycles` partitioned by the coarse FSM state that was charged
+    /// (see [`FSM_STATE_NAMES`]): `occupancy.iter().sum() == busy_cycles`.
+    pub occupancy: [u64; 3],
 }
 
 impl PeStats {
@@ -53,6 +71,9 @@ impl PeStats {
         self.noc_requests += other.noc_requests;
         self.writebacks += other.writebacks;
         self.busy_cycles += other.busy_cycles;
+        for (s, o) in self.occupancy.iter_mut().zip(&other.occupancy) {
+            *s += o;
+        }
     }
 }
 
@@ -94,6 +115,30 @@ impl WatchdogDump {
     }
 }
 
+/// One point of the machine-wide timeline, sampled every
+/// [`SimConfig::timeline_every`] cycles (at epoch granularity). All
+/// counter fields are cumulative up to `cycle`, so hit-rate *series* come
+/// from deltas between consecutive samples and hit-rate *totals* from the
+/// last sample alone.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TimelineSample {
+    /// Simulated clock at the sample (an epoch boundary).
+    pub cycle: u64,
+    /// Cumulative shared-cache accesses.
+    pub l2_accesses: u64,
+    /// Cumulative shared-cache misses.
+    pub l2_misses: u64,
+    /// Cumulative c-map queries across all PEs.
+    pub cmap_reads: u64,
+    /// Cumulative c-map insertions across all PEs.
+    pub cmap_writes: u64,
+    /// Cumulative busy cycles across all PEs (utilization =
+    /// `busy_cycles / (cycle * num_pes)`).
+    pub busy_cycles: u64,
+    /// PEs that had drained the task queue by this sample.
+    pub done_pes: usize,
+}
+
 /// The result of one accelerator simulation.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct SimReport {
@@ -105,6 +150,15 @@ pub struct SimReport {
     pub totals: PeStats,
     /// Per-PE completion times (for load-balance analysis).
     pub pe_finish_cycles: Vec<u64>,
+    /// Per-PE FSM-state occupancy (busy cycles by [`FSM_STATE_NAMES`]
+    /// class), in PE order. Always collected — the attribution is three
+    /// counter adds per charge, and keeping it unconditional keeps reports
+    /// comparable across telemetry settings.
+    pub pe_occupancy: Vec<[u64; 3]>,
+    /// Machine timeline, sampled every
+    /// [`SimConfig::timeline_every`] cycles; empty when sampling is off
+    /// (the default).
+    pub timeline: Vec<TimelineSample>,
     /// Shared-cache accesses.
     pub l2_accesses: u64,
     /// Shared-cache misses.

@@ -1,0 +1,131 @@
+//! Fixed-size log2 histograms.
+//!
+//! Telemetry buckets quantities whose useful signal is the order of
+//! magnitude (task wall time, frontier sizes) into power-of-two buckets:
+//! bucket `i` counts values whose bit length is `i`, i.e. values in
+//! `[2^(i-1), 2^i)`, with bucket 0 reserved for zero. 64 buckets cover the
+//! whole `u64` range, the struct is `Copy`-sized and allocation-free, and
+//! merging two histograms is element-wise addition — commutative and
+//! associative, so per-worker shards merge order-independently.
+
+/// A log2 histogram over `u64` samples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Log2Histogram {
+    /// `buckets[i]` counts samples with bit length `i` (zero goes to 0).
+    pub buckets: [u64; 64],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples (saturating, for mean/rate computation).
+    pub sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { buckets: [0; 64], count: 0, sum: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index for `v`: its bit length (0 for 0).
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i` (`2^i - 1`; bucket 0 holds
+    /// only zero). Used as the Prometheus `le` label.
+    pub fn bucket_le(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i).wrapping_sub(1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        // bucket_of(u64::MAX) == 64, which must land in the last slot.
+        self.buckets[Self::bucket_of(v).min(63)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Whether any sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Index of the highest non-empty bucket plus one (0 when empty), so
+    /// exporters can skip the long empty tail.
+    pub fn occupied_len(&self) -> usize {
+        64 - self.buckets.iter().rev().take_while(|&&b| b == 0).count()
+    }
+
+    /// Element-wise accumulation of another histogram (commutative).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_le(0), 0);
+        assert_eq!(Log2Histogram::bucket_le(3), 7);
+        assert_eq!(Log2Histogram::bucket_le(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_merge_commute() {
+        let samples_a = [0u64, 1, 5, 1000];
+        let samples_b = [7u64, 7, u64::MAX];
+        let mut ab = Log2Histogram::new();
+        let mut ba = Log2Histogram::new();
+        let (mut ha, mut hb) = (Log2Histogram::new(), Log2Histogram::new());
+        for &s in &samples_a {
+            ha.record(s);
+        }
+        for &s in &samples_b {
+            hb.record(s);
+        }
+        ab.merge(&ha);
+        ab.merge(&hb);
+        ba.merge(&hb);
+        ba.merge(&ha);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 7);
+        assert_eq!(ab.buckets[3], 3); // 5, 7, 7
+        assert_eq!(ab.buckets[63], 1); // u64::MAX clamped into the top slot
+    }
+
+    #[test]
+    fn occupied_len_skips_tail() {
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.occupied_len(), 0);
+        h.record(0);
+        assert_eq!(h.occupied_len(), 1);
+        h.record(9); // bucket 4
+        assert_eq!(h.occupied_len(), 5);
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal hand-rolled JSON writing.
+//!
+//! This is the single JSON writer for the workspace: the bench harness's
+//! `BENCH_*.json` tables, the metrics exporter, the Chrome-trace exporter,
+//! and the progress heartbeat all serialize through these helpers. The
+//! escaping rules are pinned by golden-file tests (the bench `results/`
+//! history must stay byte-comparable across releases).
+
+/// Appends `s` as a JSON string literal (quotes, backslashes, and control
+/// characters escaped per RFC 8259).
+pub fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `items` as a JSON array of string literals.
+pub fn json_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_str(out, item);
+    }
+    out.push(']');
+}
+
+/// Appends a `"key":` prefix (escaped key plus colon).
+pub fn json_key(out: &mut String, key: &str) {
+    json_str(out, key);
+    out.push(':');
+}
+
+/// Appends an `f64` the way our exporters format numbers: integral values
+/// print without a fraction (`3`, not `3.0`), everything else prints with
+/// up to six significant decimals, and non-finite values become `null`
+/// (JSON has no NaN/Inf).
+pub fn json_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 9.0e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        let s = format!("{v:.6}");
+        out.push_str(s.trim_end_matches('0').trim_end_matches('.'));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(f: impl Fn(&mut String)) -> String {
+        let mut s = String::new();
+        f(&mut s);
+        s
+    }
+
+    #[test]
+    fn escapes_match_rfc8259() {
+        assert_eq!(render(|o| json_str(o, "a\"b\\c\nd\te\r")), r#""a\"b\\c\nd\te\r""#);
+        assert_eq!(render(|o| json_str(o, "\u{1}")), "\"\\u0001\"");
+        assert_eq!(render(|o| json_str(o, "plain")), "\"plain\"");
+    }
+
+    #[test]
+    fn str_array_is_comma_separated() {
+        let items = vec!["a".to_string(), "b\"".to_string()];
+        assert_eq!(render(|o| json_str_array(o, &items)), r#"["a","b\""]"#);
+        assert_eq!(render(|o| json_str_array(o, &[])), "[]");
+    }
+
+    #[test]
+    fn f64_formatting_is_stable() {
+        assert_eq!(render(|o| json_f64(o, 3.0)), "3");
+        assert_eq!(render(|o| json_f64(o, -2.0)), "-2");
+        assert_eq!(render(|o| json_f64(o, 0.5)), "0.5");
+        assert_eq!(render(|o| json_f64(o, 1.25)), "1.25");
+        assert_eq!(render(|o| json_f64(o, f64::NAN)), "null");
+        assert_eq!(render(|o| json_f64(o, f64::INFINITY)), "null");
+    }
+}

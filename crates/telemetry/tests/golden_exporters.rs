@@ -1,0 +1,121 @@
+//! Golden-file tests pinning the exporters byte-for-byte.
+//!
+//! The Prometheus text exposition, the metrics JSON encoding, and the
+//! Chrome `trace_event` JSON are consumed by external tooling (scrapers,
+//! plot scripts, `chrome://tracing` / Perfetto). These tests pin complete
+//! documents — not substrings — so any change to an emitter is an
+//! intentional, reviewed change to the golden bytes here.
+
+use fm_telemetry::{chrome_trace_json, CounterEvent, Log2Histogram, MetricsDoc, Span};
+
+/// A small document exercising every metric shape: plain counter, plain
+/// gauge, labelled counter vector, labelled gauge vector, and a histogram.
+fn representative_doc() -> MetricsDoc {
+    let mut doc = MetricsDoc::new();
+    doc.counter("fm_tasks", "Completed start-vertex tasks", 300);
+    doc.gauge("fm_cmap_hit_rate", "c-map hits / queries", 0.75);
+    doc.counter_vec(
+        "fm_dispatches",
+        "Dispatcher routing by kernel tier",
+        &[(&[("tier", "merge")], 120), (&[("tier", "gallop")], 30), (&[("tier", "probe")], 6)],
+    );
+    doc.gauge_vec("fm_run_status", "Run status flag", &[(&[("status", "Complete")], 1.0)]);
+    let mut h = Log2Histogram::new();
+    h.record(1); // bucket 1 (le 1)
+    h.record(3); // bucket 2 (le 3)
+    h.record(3);
+    doc.log2_histogram("fm_frontier_size", "Frontier lengths", &[("depth", "2")], &h);
+    doc
+}
+
+#[test]
+fn prometheus_exposition_bytes_are_pinned() {
+    assert_eq!(
+        representative_doc().to_prometheus(),
+        "\
+# HELP fm_tasks Completed start-vertex tasks
+# TYPE fm_tasks counter
+fm_tasks 300
+# HELP fm_cmap_hit_rate c-map hits / queries
+# TYPE fm_cmap_hit_rate gauge
+fm_cmap_hit_rate 0.75
+# HELP fm_dispatches Dispatcher routing by kernel tier
+# TYPE fm_dispatches counter
+fm_dispatches{tier=\"merge\"} 120
+fm_dispatches{tier=\"gallop\"} 30
+fm_dispatches{tier=\"probe\"} 6
+# HELP fm_run_status Run status flag
+# TYPE fm_run_status gauge
+fm_run_status{status=\"Complete\"} 1
+# HELP fm_frontier_size Frontier lengths
+# TYPE fm_frontier_size histogram
+fm_frontier_size_bucket{depth=\"2\",le=\"0\"} 0
+fm_frontier_size_bucket{depth=\"2\",le=\"1\"} 1
+fm_frontier_size_bucket{depth=\"2\",le=\"3\"} 3
+fm_frontier_size_bucket{depth=\"2\",le=\"+Inf\"} 3
+fm_frontier_size_sum 7
+fm_frontier_size_count 3
+"
+    );
+}
+
+#[test]
+fn metrics_json_bytes_are_pinned() {
+    let mut doc = MetricsDoc::new();
+    doc.counter("fm_tasks", "Completed tasks", 7);
+    let mut h = Log2Histogram::new();
+    h.record(2);
+    doc.log2_histogram("fm_t", "Times", &[], &h);
+    assert_eq!(
+        doc.to_json(),
+        "{\"metrics\":[\
+         {\"name\":\"fm_tasks\",\"help\":\"Completed tasks\",\"type\":\"counter\",\
+         \"samples\":[{\"labels\":{},\"value\":7}]},\
+         {\"name\":\"fm_t\",\"help\":\"Times\",\"type\":\"histogram\",\
+         \"samples\":[{\"labels\":{\"le\":\"0\"},\"value\":0},\
+         {\"labels\":{\"le\":\"1\"},\"value\":0},\
+         {\"labels\":{\"le\":\"3\"},\"value\":1},\
+         {\"labels\":{\"le\":\"+Inf\"},\"value\":1}],\
+         \"sum\":2,\"count\":1}\
+         ]}"
+    );
+}
+
+#[test]
+fn chrome_trace_bytes_are_pinned() {
+    let spans = [
+        Span { ts_us: 0, dur_us: 120, tid: 0, name: "mine", cat: "engine", arg: None },
+        Span {
+            ts_us: 10,
+            dur_us: 30,
+            tid: 1,
+            name: "start-vertex-task",
+            cat: "engine",
+            arg: Some(("vid", 42)),
+        },
+    ];
+    let counters = [CounterEvent {
+        ts_us: 4096,
+        name: "machine".to_string(),
+        series: vec![("pe_utilization".to_string(), 0.5), ("done_pes".to_string(), 3.0)],
+    }];
+    assert_eq!(
+        chrome_trace_json("fm-engine", &spans, &counters),
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"fm-engine\"}},\
+         {\"name\":\"mine\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":0,\"dur\":120,\"pid\":1,\"tid\":0},\
+         {\"name\":\"start-vertex-task\",\"cat\":\"engine\",\"ph\":\"X\",\"ts\":10,\"dur\":30,\"pid\":1,\"tid\":1,\"args\":{\"vid\":42}},\
+         {\"name\":\"machine\",\"ph\":\"C\",\"ts\":4096,\"pid\":1,\"args\":{\"pe_utilization\":0.5,\"done_pes\":3}}\
+         ]}"
+    );
+}
+
+#[test]
+fn empty_trace_is_a_valid_document() {
+    assert_eq!(
+        chrome_trace_json("fm-engine", &[], &[]),
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"fm-engine\"}}\
+         ]}"
+    );
+}
