@@ -186,6 +186,7 @@ commands:
         [--induced] [--threads N] [--no-symmetry]
         [--timeout SECS] [--budget SETOP_ITERS]
         [--no-hub-bitmap] [--hub-threshold DEGREE] [--hub-budget BYTES]
+        [--no-simd]
         [--checkpoint PATH] [--checkpoint-interval N|SECSs] [--resume PATH]
         [--max-retries K]
         [--metrics-out PATH] [--trace-out PATH] [--progress N|Ns]
@@ -322,6 +323,9 @@ fn cmd_count(args: &[String], _induced_default: bool) -> CliResult {
     let mut cfg = EngineConfig::with_threads(threads);
     if has_flag(args, "--no-hub-bitmap") {
         cfg.hub_bitmap = false;
+    }
+    if has_flag(args, "--no-simd") {
+        cfg.simd = false;
     }
     if let Some(v) = flag_value(args, "--hub-threshold") {
         cfg.hub_degree_threshold = v.parse().map_err(|e| format!("bad --hub-threshold: {e}"))?;

@@ -91,6 +91,7 @@ pub fn engine_metrics(outcome: &MiningOutcome) -> MetricsDoc {
                 (&[("tier", "merge")], w.merge_dispatches),
                 (&[("tier", "gallop")], w.gallop_dispatches),
                 (&[("tier", "probe")], w.probe_dispatches),
+                (&[("tier", "simd")], w.simd_dispatches),
             ],
         );
         doc.counter("fm_cmap_queries", "Software c-map probes", w.cmap_queries);
@@ -129,6 +130,12 @@ pub fn engine_metrics(outcome: &MiningOutcome) -> MetricsDoc {
             "fm_depth_probe_dispatches",
             "Probe-tier dispatches by DFS depth",
             &shard.depth_probe,
+        );
+        depth_counter(
+            &mut doc,
+            "fm_depth_simd_dispatches",
+            "SIMD-tier dispatches by DFS depth",
+            &shard.depth_simd,
         );
         depth_counter(
             &mut doc,
@@ -305,12 +312,13 @@ mod tests {
         assert!(prom.contains("fm_pattern_count{pattern=\"4-clique\"}"), "{prom}");
         assert!(prom.contains("fm_depth_setop_iterations{depth=\"1\"}"), "{prom}");
         assert!(prom.contains("fm_dispatches{tier=\"merge\"}"), "{prom}");
+        assert!(prom.contains("fm_dispatches{tier=\"simd\"}"), "{prom}");
         assert!(prom.contains("fm_task_wall_time_us_count"), "{prom}");
         // The tier rows partition the invocation counter (satellite of the
         // dispatch-tier invariant).
         let w = outcome.work().unwrap();
         assert_eq!(
-            w.merge_dispatches + w.gallop_dispatches + w.probe_dispatches,
+            w.merge_dispatches + w.gallop_dispatches + w.probe_dispatches + w.simd_dispatches,
             w.setop_invocations
         );
         // JSON encoding parses under the same document.

@@ -58,7 +58,7 @@ const CKPT_MAGIC: &[u8; 8] = b"FMCKPT\x01\x00";
 /// Current format version. Bump on any layout change; old readers reject
 /// newer files with [`CheckpointError::UnsupportedVersion`] instead of
 /// misparsing them.
-const CKPT_VERSION: u32 = 1;
+const CKPT_VERSION: u32 = 2;
 
 /// Elements preallocated up front when reading untrusted length headers
 /// (same discipline as `fm_graph::io`): larger lists grow on demand as
@@ -211,6 +211,7 @@ pub fn config_fingerprint(cfg: &EngineConfig) -> u64 {
         h.u64(cfg.hub_degree_threshold as u64);
         h.u64(cfg.hub_memory_budget as u64);
     }
+    h.u64(u64::from(cfg.simd_active()));
     h.finish()
 }
 
@@ -560,7 +561,7 @@ impl Checkpoint {
 
 /// The `WorkCounters` fields in their persisted order. New counters append
 /// (with a version bump); the count is pinned by `decode`.
-fn work_words(w: &WorkCounters) -> [u64; 12] {
+fn work_words(w: &WorkCounters) -> [u64; 13] {
     [
         w.setop_iterations,
         w.setop_invocations,
@@ -574,10 +575,11 @@ fn work_words(w: &WorkCounters) -> [u64; 12] {
         w.merge_dispatches,
         w.gallop_dispatches,
         w.probe_dispatches,
+        w.simd_dispatches,
     ]
 }
 
-fn work_words_mut(w: &mut WorkCounters) -> [&mut u64; 12] {
+fn work_words_mut(w: &mut WorkCounters) -> [&mut u64; 13] {
     [
         &mut w.setop_iterations,
         &mut w.setop_invocations,
@@ -591,6 +593,7 @@ fn work_words_mut(w: &mut WorkCounters) -> [&mut u64; 12] {
         &mut w.merge_dispatches,
         &mut w.gallop_dispatches,
         &mut w.probe_dispatches,
+        &mut w.simd_dispatches,
     ]
 }
 

@@ -13,7 +13,7 @@ use crate::result::{Fault, MiningResult, RunStatus, WorkCounters};
 use crate::setops;
 use crate::telemetry::Collector;
 use crate::EngineConfig;
-use fm_graph::{orient_by_degree, CsrGraph, HubBitmaps, VertexId};
+use fm_graph::{orient_by_degree, BlockSummaries, CsrGraph, HubBitmaps, VertexId};
 use fm_plan::lowering::{lower, LowerOptions, Program};
 use fm_plan::{ExecutionPlan, FrontierHint};
 use fm_telemetry::TraceClock;
@@ -36,17 +36,22 @@ pub fn prepare_graph<'g>(graph: &'g CsrGraph, plan: &ExecutionPlan) -> Cow<'g, C
 }
 
 /// A data graph fully preprocessed for mining: the (possibly oriented)
-/// graph plus the optional hub-bitmap index built over it.
+/// graph plus the optional auxiliary indexes built over it — the
+/// hub-bitmap index for the probe tier and the per-block adjacency
+/// summaries for the SIMD tier's block skipping.
 ///
-/// The index is built once here — not per executor — and handed to worker
-/// [`Executor`]s behind an [`Arc`], so parallel drivers share one copy.
-/// Construction is governed by the config: [`EngineConfig::hub_bitmap_active`]
-/// decides whether an index is built at all, and an index that comes back
-/// empty (no vertex reaches the degree threshold, or the memory budget is
-/// too tight) is dropped so the dispatcher never consults it.
+/// The indexes are built once here — not per executor — and handed to
+/// worker [`Executor`]s behind [`Arc`]s, so parallel drivers share one
+/// copy. Construction is governed by the config:
+/// [`EngineConfig::hub_bitmap_active`] / [`EngineConfig::simd_active`]
+/// decide whether each index is built at all, and an index that comes
+/// back empty (no vertex reaches the degree threshold, the memory budget
+/// is too tight, or the graph has no edges) is dropped so the dispatcher
+/// never consults it.
 pub struct PreparedGraph<'g> {
     graph: Cow<'g, CsrGraph>,
     hubs: Option<Arc<HubBitmaps>>,
+    blocks: Option<Arc<BlockSummaries>>,
 }
 
 impl<'g> PreparedGraph<'g> {
@@ -59,6 +64,11 @@ impl<'g> PreparedGraph<'g> {
     pub fn hubs_arc(&self) -> Option<Arc<HubBitmaps>> {
         self.hubs.clone()
     }
+
+    /// A shared handle to the block summaries, if built and non-empty.
+    pub fn blocks_arc(&self) -> Option<Arc<BlockSummaries>> {
+        self.blocks.clone()
+    }
 }
 
 impl std::ops::Deref for PreparedGraph<'_> {
@@ -68,10 +78,10 @@ impl std::ops::Deref for PreparedGraph<'_> {
     }
 }
 
-/// [`prepare_graph`] plus hub-index construction: the preprocessing step
-/// shared by every mining entry point, so single-threaded, parallel, and
-/// re-run-the-completed-set executions all see the same index and charge
-/// identical work.
+/// [`prepare_graph`] plus auxiliary-index construction (hub bitmaps,
+/// block summaries): the preprocessing step shared by every mining entry
+/// point, so single-threaded, parallel, and re-run-the-completed-set
+/// executions all see the same indexes and charge identical work.
 pub fn prepare<'g>(
     graph: &'g CsrGraph,
     plan: &ExecutionPlan,
@@ -84,7 +94,13 @@ pub fn prepare<'g>(
     } else {
         None
     };
-    PreparedGraph { graph, hubs }
+    let blocks = if cfg.simd_active() {
+        let bl = BlockSummaries::build(&graph);
+        (!bl.is_empty()).then(|| Arc::new(bl))
+    } else {
+        None
+    };
+    PreparedGraph { graph, hubs, blocks }
 }
 
 /// Convenience entry point: prepares the graph and mines every start vertex
@@ -109,7 +125,13 @@ pub fn mine_single_threaded(
     cfg: &EngineConfig,
 ) -> MiningResult {
     let prepared = prepare(graph, plan, cfg);
-    let mut ex = Executor::with_hubs(prepared.graph(), plan, cfg, prepared.hubs_arc());
+    let mut ex = Executor::with_shared(
+        prepared.graph(),
+        plan,
+        cfg,
+        prepared.hubs_arc(),
+        prepared.blocks_arc(),
+    );
     ex.run_range(0, prepared.num_vertices() as u32);
     ex.finish()
 }
@@ -189,6 +211,7 @@ pub(crate) fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
 pub struct Executor<'g> {
     graph: &'g CsrGraph,
     hubs: Option<Arc<HubBitmaps>>,
+    blocks: Option<Arc<BlockSummaries>>,
     program: Program,
     cfg: EngineConfig,
     state: State,
@@ -197,8 +220,9 @@ pub struct Executor<'g> {
 impl<'g> Executor<'g> {
     /// Creates an executor over `graph`, which must already be prepared via
     /// [`prepare_graph`] (oriented for k-clique plans). Builds its own hub
-    /// index when the config calls for one; parallel drivers share a
-    /// prebuilt index across workers via [`Executor::with_hubs`] instead.
+    /// index and block summaries when the config calls for them; parallel
+    /// drivers share prebuilt indexes across workers via
+    /// [`Executor::with_shared`] instead.
     pub fn new(graph: &'g CsrGraph, plan: &ExecutionPlan, cfg: &EngineConfig) -> Executor<'g> {
         let hubs = if cfg.hub_bitmap_active() {
             let idx = HubBitmaps::build(graph, cfg.hub_degree_threshold, cfg.hub_memory_budget);
@@ -206,22 +230,47 @@ impl<'g> Executor<'g> {
         } else {
             None
         };
-        Self::with_hubs(graph, plan, cfg, hubs)
+        let blocks = if cfg.simd_active() {
+            let bl = BlockSummaries::build(graph);
+            (!bl.is_empty()).then(|| Arc::new(bl))
+        } else {
+            None
+        };
+        Self::with_shared(graph, plan, cfg, hubs, blocks)
     }
 
     /// Creates an executor sharing a prebuilt hub index (or none). The
     /// index must have been built over this same prepared `graph` — see
-    /// [`prepare`].
+    /// [`prepare`]. Block summaries are not supplied on this path, so the
+    /// SIMD tier (if active) runs without block skipping — outputs and
+    /// charged work are unaffected either way.
     pub fn with_hubs(
         graph: &'g CsrGraph,
         plan: &ExecutionPlan,
         cfg: &EngineConfig,
         hubs: Option<Arc<HubBitmaps>>,
     ) -> Executor<'g> {
+        Self::with_shared(graph, plan, cfg, hubs, None)
+    }
+
+    /// Creates an executor sharing every prebuilt auxiliary index (either
+    /// may be `None`). The indexes must have been built over this same
+    /// prepared `graph` — see [`prepare`].
+    pub fn with_shared(
+        graph: &'g CsrGraph,
+        plan: &ExecutionPlan,
+        cfg: &EngineConfig,
+        hubs: Option<Arc<HubBitmaps>>,
+        blocks: Option<Arc<BlockSummaries>>,
+    ) -> Executor<'g> {
         cfg.debug_validate();
         debug_assert!(
             hubs.is_none() || cfg.hub_bitmap_active(),
             "a hub index must not reach a config that excludes probes (paper_faithful)"
+        );
+        debug_assert!(
+            blocks.is_none() || cfg.simd_active(),
+            "block summaries must not reach a config that excludes the SIMD tier"
         );
         let program = lower(
             plan,
@@ -231,7 +280,7 @@ impl<'g> Executor<'g> {
             },
         );
         let state = State::new(program.depth, plan.patterns.len());
-        Executor { graph, hubs, program, cfg: *cfg, state }
+        Executor { graph, hubs, blocks, program, cfg: *cfg, state }
     }
 
     /// Enables recording of complete matches (pattern index + embedding).
@@ -248,7 +297,12 @@ impl<'g> Executor<'g> {
     /// Panics if `v` is out of range for the graph.
     pub fn run_vertex(&mut self, v: VertexId) {
         fail_point!("start_vertex", v.0 as u64);
-        enter(self.graph, self.hubs.as_deref(), &self.cfg, &self.program, &mut self.state, 0, v);
+        let aux = Aux {
+            hubs: self.hubs.as_deref(),
+            blocks: self.blocks.as_deref(),
+            simd: self.cfg.simd_active(),
+        };
+        enter(self.graph, aux, &self.cfg, &self.program, &mut self.state, 0, v);
         debug_assert!(self.state.emb.is_empty());
         debug_assert!(
             !self.cfg.use_cmap || self.state.cmap.is_empty(),
@@ -407,11 +461,30 @@ impl<'g> Executor<'g> {
     }
 }
 
+/// Shared read-only dispatch context threaded through the DFS walk: the
+/// optional hub-bitmap index (probe tier), the optional block summaries
+/// (SIMD-tier block skipping), and whether the run's configuration
+/// activated the SIMD tier at all.
+#[derive(Clone, Copy)]
+struct Aux<'a> {
+    hubs: Option<&'a HubBitmaps>,
+    blocks: Option<&'a BlockSummaries>,
+    simd: bool,
+}
+
+impl<'a> Aux<'a> {
+    /// SIMD routing state for a dispatch whose subtrahend operand is
+    /// `v`'s adjacency list.
+    fn simd_for(&self, v: VertexId) -> setops::SimdOpt<'a> {
+        setops::SimdOpt { enabled: self.simd, b_blocks: self.blocks.map(|b| b.row(v)) }
+    }
+}
+
 /// Pushes `w` as the vertex for `node`, handles counting and c-map
 /// insertion, recurses into children, and unwinds.
 fn enter(
     g: &CsrGraph,
-    hubs: Option<&HubBitmaps>,
+    aux: Aux<'_>,
     cfg: &EngineConfig,
     prog: &Program,
     state: &mut State,
@@ -447,7 +520,7 @@ fn enter(
         }
     }
     for &child in &node.children {
-        step(g, hubs, cfg, prog, state, child);
+        step(g, aux, cfg, prog, state, child);
     }
     if did_insert {
         let ins = std::mem::take(&mut state.inserted[d]);
@@ -463,7 +536,7 @@ fn enter(
 /// Generates the candidates of `node` and recurses into each survivor.
 fn step(
     g: &CsrGraph,
-    hubs: Option<&HubBitmaps>,
+    aux: Aux<'_>,
     cfg: &EngineConfig,
     prog: &Program,
     state: &mut State,
@@ -495,7 +568,7 @@ fn step(
             fail_point!("csr_read", state.emb[0].0 as u64);
             let v = state.emb[d - 1];
             let adj = g.neighbors(v);
-            let hub = hubs.and_then(|h| h.row(v));
+            let hub = aux.hubs.and_then(|h| h.row(v));
             let src = state.core_at[d - 1];
             let merge_bound = if node.bounded_build { bound } else { None };
             let work_before = state.telemetry.is_some().then_some(state.work);
@@ -505,6 +578,7 @@ fn step(
                 merge_bound,
                 cfg.gallop_ratio,
                 hub,
+                aux.simd_for(v),
                 &mut state.work,
             );
             if let (Some(t), Some(before)) = (state.telemetry.as_deref_mut(), work_before) {
@@ -518,7 +592,7 @@ fn step(
     }
 
     let work_before = state.telemetry.is_some().then_some(state.work);
-    build_core(g, hubs, cfg, prog, state, node_idx, bound);
+    build_core(g, aux, cfg, prog, state, node_idx, bound);
 
     let core = state.core_at[d];
     let len = state.frontiers[core].len();
@@ -570,7 +644,7 @@ fn step(
         if node.injectivity.iter().any(|&l| state.emb[l] == w) {
             continue;
         }
-        enter(g, hubs, cfg, prog, state, node_idx, w);
+        enter(g, aux, cfg, prog, state, node_idx, w);
     }
 }
 
@@ -578,7 +652,7 @@ fn step(
 /// its buffer index in `state.core_at[depth]`.
 fn build_core(
     g: &CsrGraph,
-    hubs: Option<&HubBitmaps>,
+    aux: Aux<'_>,
     cfg: &EngineConfig,
     prog: &Program,
     state: &mut State,
@@ -650,7 +724,8 @@ fn build_core(
                     setops::difference_into(&state.frontiers[src], adj, &mut out, &mut state.work)
                 }
             } else {
-                let hub = hubs.and_then(|h| h.row(state.emb[d - 1]));
+                let v = state.emb[d - 1];
+                let hub = aux.hubs.and_then(|h| h.row(v));
                 if want_connected {
                     setops::intersect_adaptive_into(
                         &state.frontiers[src],
@@ -658,6 +733,7 @@ fn build_core(
                         merge_bound,
                         cfg.gallop_ratio,
                         hub,
+                        aux.simd_for(v),
                         &mut out,
                         &mut state.work,
                     )
@@ -667,6 +743,7 @@ fn build_core(
                         adj,
                         merge_bound,
                         hub,
+                        aux.simd_for(v),
                         &mut out,
                         &mut state.work,
                     )
@@ -718,7 +795,7 @@ fn build_core(
                             setops::difference_into(cur, adj, dst, &mut state.work);
                         }
                     } else {
-                        let hub = hubs.and_then(|h| h.row(state.emb[l]));
+                        let hub = aux.hubs.and_then(|h| h.row(state.emb[l]));
                         if is_conn {
                             setops::intersect_adaptive_into(
                                 cur,
@@ -726,6 +803,7 @@ fn build_core(
                                 merge_bound,
                                 cfg.gallop_ratio,
                                 hub,
+                                aux.simd_for(state.emb[l]),
                                 dst,
                                 &mut state.work,
                             );
@@ -735,6 +813,7 @@ fn build_core(
                                 adj,
                                 merge_bound,
                                 hub,
+                                aux.simd_for(state.emb[l]),
                                 dst,
                                 &mut state.work,
                             );

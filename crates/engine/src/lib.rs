@@ -51,6 +51,7 @@ pub mod oblivious;
 pub mod parallel;
 pub mod result;
 pub mod setops;
+pub mod simd;
 pub mod telemetry;
 
 /// Reports a named failpoint hit in instrumented builds (`cfg(test)` or
@@ -89,8 +90,9 @@ pub use telemetry::{ProgressOptions, TelemetryOptions};
 /// |-----------------|---------|--------------------|-------------|
 /// | `use_cmap`      | off     | off                | supported with `frontier_memo` on **or** off — with memoization off the lowering marks every level insertable, so the c-map probes all levels (the cmap-mode tests flip both knobs together) |
 /// | `frontier_memo` | on      | on                 | off is a fully supported mode (merge-pipeline candidate generation), not merely an ablation artifact; counts are invariant |
-/// | `gallop_ratio`  | 16      | ignored            | any value; `0` disables galloping |
+/// | `gallop_ratio`  | 16      | ignored            | any value; `0` is the documented sentinel that disables galloping entirely (every skew dispatches merge/simd) — tests rely on it to force specific tiers |
 /// | `hub_bitmap`    | on      | ignored (no probes)| composes with every other knob; inert when no vertex reaches `hub_degree_threshold` or `hub_memory_budget` is too tight |
+/// | `simd`          | on      | ignored (scalar merges) | replaces the merge tier with vectorized kernels when compiled in (`simd` cargo feature) and runnable on the host CPU; counts, `setop_iterations`, and `comparisons` are bit-identical to the scalar path — only the dispatch split shifts merge → `simd_dispatches` |
 /// | `degree_sched`  | on      | on                 | only effective with `threads > 1`; counts and aggregate work are order-independent |
 /// | `max_retries`   | 0       | same               | count-irrelevant (a retried task contributes exactly once); excluded from the checkpoint config fingerprint, so a resume may change it |
 /// | `straggler_*`   | 8 / 10ms| same               | observability only; never perturbs counts, work, or scheduling |
@@ -146,6 +148,17 @@ pub struct EngineConfig {
     /// per-vertex row map). The index silently shrinks — possibly to
     /// empty — rather than failing when the budget is tight.
     pub hub_memory_budget: usize,
+    /// Let the adaptive dispatcher route merge-tier set ops to the
+    /// vectorized (SSE2/AVX2) kernels instead of the scalar merge, and
+    /// build per-block adjacency summaries in [`prepare`] for operand
+    /// block skipping. Effective only when the `simd` cargo feature is
+    /// compiled in and the host can run the kernels (see
+    /// [`simd_active`](Self::simd_active)); ignored under
+    /// [`paper_faithful`](Self::paper_faithful) — the Fig. 9 merge FSM
+    /// is strictly scalar. Counts and charged work are bit-identical
+    /// either way; only wall-clock and the merge/simd dispatch split
+    /// change.
+    pub simd: bool,
     /// Hand start vertices to parallel workers in degree-descending order,
     /// so the heavy hub subtrees start first and cannot land at the tail
     /// of the schedule. Counts and aggregate work are order-independent;
@@ -196,6 +209,7 @@ impl Default for EngineConfig {
             // of the bundled datasets.
             hub_degree_threshold: 32,
             hub_memory_budget: 64 << 20,
+            simd: true,
             degree_sched: true,
             budget: Budget::unlimited(),
             max_retries: 0,
@@ -222,6 +236,15 @@ impl EngineConfig {
     /// [`paper_faithful`](Self::paper_faithful).
     pub fn hub_bitmap_active(&self) -> bool {
         self.hub_bitmap && !self.paper_faithful
+    }
+
+    /// Whether this configuration routes merge-tier set ops to the
+    /// vectorized kernels: [`simd`](Self::simd) requested, not overridden
+    /// by [`paper_faithful`](Self::paper_faithful), and the kernels are
+    /// compiled in and runnable on this host
+    /// ([`simd::runtime_available`]).
+    pub fn simd_active(&self) -> bool {
+        self.simd && !self.paper_faithful && simd::runtime_available()
     }
 
     /// Debug-asserts the structural invariants of the supported knob

@@ -272,7 +272,7 @@ fn run_with_control(
         monitor.enable_progress(total_tasks, p);
     }
     let mut total = if cfg.threads <= 1 {
-        let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
+        let mut ex = Executor::with_shared(g.graph(), plan, cfg, g.hubs_arc(), g.blocks_arc());
         if let Some(c) = telemetry.collector(1) {
             ex.set_telemetry(c);
         }
@@ -311,7 +311,13 @@ fn run_with_control(
                     let pending = pending.as_slice();
                     let monitor = &monitor;
                     scope.spawn(move || {
-                        let mut ex = Executor::with_hubs(g.graph(), plan, cfg, g.hubs_arc());
+                        let mut ex = Executor::with_shared(
+                            g.graph(),
+                            plan,
+                            cfg,
+                            g.hubs_arc(),
+                            g.blocks_arc(),
+                        );
                         if let Some(c) = telemetry.collector(w as u32 + 1) {
                             ex.set_telemetry(c);
                         }

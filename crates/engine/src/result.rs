@@ -12,15 +12,16 @@ use std::time::Duration;
 ///
 /// # Dispatch-tier invariant
 ///
-/// The three dispatch counters — [`merge_dispatches`], [`gallop_dispatches`],
-/// and [`probe_dispatches`] — are charged *only* by the adaptive
-/// dispatchers in [`setops`](crate::setops), exactly one per dispatcher
-/// call, and every dispatcher call runs exactly one kernel (which charges
-/// [`setop_invocations`] exactly once). So for any span of work routed
-/// through the dispatchers:
+/// The four dispatch counters — [`merge_dispatches`], [`gallop_dispatches`],
+/// [`probe_dispatches`], and [`simd_dispatches`] — are charged *only* by
+/// the adaptive dispatchers in [`setops`](crate::setops), exactly one per
+/// dispatcher call, and every dispatcher call runs exactly one kernel
+/// (which charges [`setop_invocations`] exactly once). So for any span of
+/// work routed through the dispatchers:
 ///
 /// ```text
-/// merge_dispatches + gallop_dispatches + probe_dispatches == setop_invocations
+/// merge_dispatches + gallop_dispatches + probe_dispatches + simd_dispatches
+///     == setop_invocations
 /// ```
 ///
 /// This holds globally for the default (adaptive) plan-driven executor,
@@ -34,6 +35,7 @@ use std::time::Duration;
 /// [`merge_dispatches`]: WorkCounters::merge_dispatches
 /// [`gallop_dispatches`]: WorkCounters::gallop_dispatches
 /// [`probe_dispatches`]: WorkCounters::probe_dispatches
+/// [`simd_dispatches`]: WorkCounters::simd_dispatches
 /// [`setop_invocations`]: WorkCounters::setop_invocations
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct WorkCounters {
@@ -64,9 +66,16 @@ pub struct WorkCounters {
     pub gallop_dispatches: u64,
     /// Candidate-generation ops dispatched to a hub-bitmap probe kernel
     /// (the third dispatch tier; see the dispatch-tier invariant in the
-    /// type docs — the three dispatch counters partition
+    /// type docs — the four dispatch counters partition
     /// [`setop_invocations`](Self::setop_invocations) in adaptive mode).
     pub probe_dispatches: u64,
+    /// Candidate-generation ops dispatched to the vectorized (SSE2/AVX2)
+    /// kernels — the fourth dispatch tier, which *replaces* the merge
+    /// tier when [`EngineConfig::simd_active`](crate::EngineConfig::simd_active):
+    /// a scalar run's `merge_dispatches` equals the same run's
+    /// `simd_dispatches` under SIMD, with every other counter
+    /// bit-identical.
+    pub simd_dispatches: u64,
 }
 
 impl std::ops::Sub for WorkCounters {
@@ -88,6 +97,7 @@ impl std::ops::Sub for WorkCounters {
             merge_dispatches: self.merge_dispatches - o.merge_dispatches,
             gallop_dispatches: self.gallop_dispatches - o.gallop_dispatches,
             probe_dispatches: self.probe_dispatches - o.probe_dispatches,
+            simd_dispatches: self.simd_dispatches - o.simd_dispatches,
         }
     }
 }
@@ -106,6 +116,7 @@ impl AddAssign for WorkCounters {
         self.merge_dispatches += o.merge_dispatches;
         self.gallop_dispatches += o.gallop_dispatches;
         self.probe_dispatches += o.probe_dispatches;
+        self.simd_dispatches += o.simd_dispatches;
     }
 }
 

@@ -122,6 +122,7 @@ impl Collector {
         charge_depth(&mut self.shard.depth_merge, depth, w.merge_dispatches);
         charge_depth(&mut self.shard.depth_gallop, depth, w.gallop_dispatches);
         charge_depth(&mut self.shard.depth_probe, depth, w.probe_dispatches);
+        charge_depth(&mut self.shard.depth_simd, depth, w.simd_dispatches);
         charge_depth(&mut self.shard.depth_cmap_queries, depth, w.cmap_queries);
         charge_depth(&mut self.shard.depth_cmap_hits, depth, w.cmap_hits);
     }
@@ -190,8 +191,9 @@ mod tests {
         let before = WorkCounters::default();
         let after = WorkCounters {
             setop_iterations: 10,
-            setop_invocations: 2,
+            setop_invocations: 3,
             gallop_dispatches: 2,
+            simd_dispatches: 1,
             cmap_queries: 4,
             cmap_hits: 3,
             ..Default::default()
@@ -200,6 +202,7 @@ mod tests {
         let shard = c.into_shard();
         assert_eq!(shard.depth_setop_iterations, vec![0, 0, 10]);
         assert_eq!(shard.depth_gallop, vec![0, 0, 2]);
+        assert_eq!(shard.depth_simd, vec![0, 0, 1]);
         assert_eq!(shard.depth_cmap_hits, vec![0, 0, 3]);
         assert!(shard.depth_merge.is_empty());
     }

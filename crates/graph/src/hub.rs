@@ -98,13 +98,17 @@ impl HubBitmaps {
         } else {
             (memory_budget - map_bytes) / row_bytes
         };
+        // Clamp once and store the clamped value: `degree_threshold()`
+        // must report the threshold the selection actually used, not the
+        // raw argument (a threshold of 0 would otherwise claim every
+        // isolated vertex is a hub).
         let threshold = degree_threshold.max(1);
         let mut hubs: Vec<u32> =
             (0..n as u32).filter(|&v| g.degree(VertexId(v)) >= threshold).collect();
         hubs.sort_by_key(|&v| (std::cmp::Reverse(g.degree(VertexId(v))), v));
         hubs.truncate(capacity);
         if hubs.is_empty() {
-            return HubBitmaps { degree_threshold, ..HubBitmaps::default() };
+            return HubBitmaps { degree_threshold: threshold, ..HubBitmaps::default() };
         }
         let mut row_of = vec![NOT_A_HUB; n];
         let mut rows = vec![0u64; hubs.len() * words_per_row];
@@ -116,7 +120,7 @@ impl HubBitmaps {
                 row[i >> 6] |= 1 << (i & 63);
             }
         }
-        HubBitmaps { words_per_row, rows, row_of, degree_threshold }
+        HubBitmaps { words_per_row, rows, row_of, degree_threshold: threshold }
     }
 
     /// The bitset row for `v`, or `None` if `v` is not an indexed hub
@@ -144,7 +148,9 @@ impl HubBitmaps {
         self.rows.is_empty()
     }
 
-    /// The degree threshold the index was built with.
+    /// The degree threshold the index was built with, after the build's
+    /// clamp to at least 1 (a raw argument of 0 would select every
+    /// vertex, including isolated ones).
     pub fn degree_threshold(&self) -> usize {
         self.degree_threshold
     }
@@ -229,5 +235,37 @@ mod tests {
         let idx = HubBitmaps::build(&g, 0, 1 << 20);
         // Threshold clamps to 1: every vertex of a cycle qualifies.
         assert_eq!(idx.num_hubs(), 10);
+        // The stored threshold is the clamped one the selection used, not
+        // the raw argument — on the populated and the empty path alike.
+        assert_eq!(idx.degree_threshold(), 1);
+        assert_eq!(HubBitmaps::build(&g, 0, 0).degree_threshold(), 1);
+    }
+
+    #[test]
+    fn budget_of_exactly_the_row_map_holds_zero_rows() {
+        let g = generators::complete(64);
+        // map_bytes fits but leaves nothing for rows: capacity 0, empty.
+        let map_bytes = g.num_vertices() * std::mem::size_of::<u32>();
+        let idx = HubBitmaps::build(&g, 1, map_bytes);
+        assert!(idx.is_empty());
+        assert!(idx.row(VertexId(0)).is_none());
+        // One row's worth more admits exactly one hub.
+        let row_bytes = g.num_vertices().div_ceil(64) * 8;
+        let idx = HubBitmaps::build(&g, 1, map_bytes + row_bytes);
+        assert_eq!(idx.num_hubs(), 1);
+    }
+
+    #[test]
+    fn single_hub_graph_indexes_only_the_hub() {
+        // A star's center is the lone vertex at or above threshold 2.
+        let g = generators::star(12);
+        let idx = HubBitmaps::build(&g, 2, 1 << 20);
+        assert_eq!(idx.num_hubs(), 1);
+        let row = idx.row(VertexId(0)).expect("the center is the hub");
+        for v in g.vertices().skip(1) {
+            assert!(row.contains(v));
+            assert!(idx.row(v).is_none(), "leaves are not hubs");
+        }
+        assert!(!row.contains(VertexId(0)), "no self-loop bit");
     }
 }

@@ -19,6 +19,9 @@
 //!   FlexMiner compiler applies for k-clique mining (§V-C of the paper).
 //! * [`hub`] — degree-thresholded hub adjacency bitmaps ([`HubBitmaps`]),
 //!   the auxiliary index backing the engine's probe-based set-op kernels.
+//! * [`block`] — per-64-neighbor-block id-range summaries
+//!   ([`BlockSummaries`]), the skip index consumed by the engine's SIMD
+//!   set-op kernel tier.
 //! * [`stats`] — degree statistics used to reproduce Table I.
 //! * [`io`] — plain-text edge-list and binary CSR serialization.
 //!
@@ -41,6 +44,7 @@
 //! # Ok::<(), fm_graph::GraphError>(())
 //! ```
 
+pub mod block;
 pub mod builder;
 pub mod csr;
 pub mod error;
@@ -51,6 +55,7 @@ pub mod orientation;
 pub mod stats;
 pub mod vertex;
 
+pub use block::BlockSummaries;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use error::GraphError;

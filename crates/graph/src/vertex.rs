@@ -10,7 +10,9 @@ use std::fmt;
 ///
 /// The tuple field is public on purpose: `VertexId` is a plain passive
 /// identifier, and the symmetry-order checks in the mining inner loop compare
-/// raw ids directly.
+/// raw ids directly. The layout is `#[repr(transparent)]` over `u32` so
+/// adjacency slices can be reinterpreted as `&[u32]` by vectorized set-op
+/// kernels without copying.
 ///
 /// # Examples
 ///
@@ -23,6 +25,7 @@ use std::fmt;
 /// assert_eq!(v.to_string(), "v7");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
 
 impl VertexId {

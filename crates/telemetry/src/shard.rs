@@ -29,6 +29,8 @@ pub struct TelemetryShard {
     pub depth_gallop: Vec<u64>,
     /// Adaptive dispatches resolved to the hub-bitmap probe tier, per depth.
     pub depth_probe: Vec<u64>,
+    /// Adaptive dispatches resolved to the SIMD tier, per depth.
+    pub depth_simd: Vec<u64>,
     /// c-map membership queries charged per depth.
     pub depth_cmap_queries: Vec<u64>,
     /// c-map query hits per depth.
@@ -90,6 +92,7 @@ impl TelemetryShard {
         add_resized(&mut self.depth_merge, &other.depth_merge);
         add_resized(&mut self.depth_gallop, &other.depth_gallop);
         add_resized(&mut self.depth_probe, &other.depth_probe);
+        add_resized(&mut self.depth_simd, &other.depth_simd);
         add_resized(&mut self.depth_cmap_queries, &other.depth_cmap_queries);
         add_resized(&mut self.depth_cmap_hits, &other.depth_cmap_hits);
         self.frontier_sizes.merge(&other.frontier_sizes);
@@ -107,6 +110,7 @@ impl TelemetryShard {
             self.depth_merge.len(),
             self.depth_gallop.len(),
             self.depth_probe.len(),
+            self.depth_simd.len(),
             self.depth_cmap_queries.len(),
             self.depth_cmap_hits.len(),
         ]

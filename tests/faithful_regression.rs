@@ -71,6 +71,7 @@ fn paper_faithful_ignores_hub_knobs_bit_for_bit() {
             hub_degree_threshold: 1,
             hub_memory_budget: usize::MAX,
             gallop_ratio: 1,
+            simd: true,
             ..EngineConfig::paper_faithful()
         };
         let twiddled = faithful(&g, &pattern, &knobs);
@@ -79,6 +80,7 @@ fn paper_faithful_ignores_hub_knobs_bit_for_bit() {
         assert_eq!(base.work.merge_dispatches, 0, "{name}");
         assert_eq!(base.work.gallop_dispatches, 0, "{name}");
         assert_eq!(base.work.probe_dispatches, 0, "{name}");
+        assert_eq!(base.work.simd_dispatches, 0, "{name}");
         // The parallel driver must be just as inert.
         let parallel = mine(
             &g,

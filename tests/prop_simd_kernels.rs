@@ -1,0 +1,184 @@
+//! Differential property tests for the SIMD set-op kernel tier: every
+//! `*_simd_*` wrapper must be bit-identical to its scalar twin — same
+//! output lists, same bounded truncation, and the same `WorkCounters`
+//! (the closed-form charging reproduces the scalar walk exactly) — over
+//! adversarial operands: empty sides, identical lists, disjoint lists,
+//! bounds of 0 and past-the-end, and lengths straddling the 4/8-lane
+//! vector-width tails. End to end, flipping `EngineConfig::simd` must be
+//! invisible to mining results across threads, c-map, and hub modes
+//! except for the merge→simd dispatch relabeling.
+
+use fm_engine::setops::{
+    difference_bounded_into, difference_into, difference_simd_bounded_into, difference_simd_into,
+    intersect_bounded_count, intersect_bounded_into, intersect_count, intersect_into,
+    intersect_simd_bounded_count, intersect_simd_bounded_into, intersect_simd_count,
+    intersect_simd_into,
+};
+use fm_engine::{mine, simd, EngineConfig, WorkCounters};
+use fm_graph::{generators, CsrGraph, VertexId};
+use fm_pattern::Pattern;
+use fm_plan::{compile, CompileOptions};
+use proptest::prelude::*;
+
+/// Sorted-dedup vertex list from raw fuzz input.
+fn sorted(mut raw: Vec<u32>) -> Vec<VertexId> {
+    raw.sort_unstable();
+    raw.dedup();
+    raw.into_iter().map(VertexId).collect()
+}
+
+/// Packs the [`fm_graph::BlockSummaries`]-layout row for `b`: one
+/// `last << 32 | first` word per 64-neighbor block.
+fn blocks_of(b: &[VertexId]) -> Vec<u64> {
+    b.chunks(64).map(|c| (u64::from(c[c.len() - 1].0) << 32) | u64::from(c[0].0)).collect()
+}
+
+/// Operand pairs biased toward the adversarial shapes: `b` is either
+/// independent fuzz, a copy of `a` (all-equal), a strided subset, or
+/// shifted fully disjoint. Lengths run 0..160, straddling both the SSE2
+/// 4-lane and AVX2 8-lane block boundaries and their scalar tails.
+fn arb_pair() -> impl Strategy<Value = (Vec<VertexId>, Vec<VertexId>)> {
+    (prop::collection::vec(0u32..600, 0..160), prop::collection::vec(0u32..600, 0..160), 0u8..4)
+        .prop_map(|(a_raw, b_raw, mode)| {
+            let a = sorted(a_raw);
+            let b = match mode {
+                0 => sorted(b_raw),
+                1 => a.clone(),
+                2 => a.iter().copied().step_by(3).collect(),
+                _ => a.iter().map(|&x| VertexId(x.0 + 601)).collect(),
+            };
+            (a, b)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Kernel-level differential: all six SIMD wrappers agree with their
+    /// scalar twins on outputs AND charged work, with and without block
+    /// summaries, for unbounded and bounded (0, interior, past-the-end)
+    /// forms.
+    #[test]
+    fn simd_wrappers_are_bit_identical_to_scalar_kernels(
+        (a, b) in arb_pair(),
+        bound_pick in 0u8..4,
+    ) {
+        let blocks_full = blocks_of(&b);
+        let bound = match bound_pick {
+            0 => VertexId(0),
+            1 => VertexId(a.get(a.len() / 2).map_or(300, |x| x.0)),
+            2 => VertexId(b.get(b.len() / 2).map_or(17, |x| x.0 + 1)),
+            _ => VertexId(u32::MAX),
+        };
+        for blocks in [&[][..], &blocks_full[..]] {
+            let ctx = format!("|a|={} |b|={} bound={} blocks={}",
+                a.len(), b.len(), bound.0, !blocks.is_empty());
+
+            let (mut so, mut vo) = (Vec::new(), Vec::new());
+            let (mut ws, mut wv) = (WorkCounters::default(), WorkCounters::default());
+            intersect_into(&a, &b, &mut so, &mut ws);
+            intersect_simd_into(&a, &b, blocks, &mut vo, &mut wv);
+            prop_assert_eq!(&so, &vo, "intersect {}", &ctx);
+            prop_assert_eq!(ws, wv, "intersect charges {}", &ctx);
+            prop_assert_eq!(intersect_count(&a, &b, &mut ws), so.len() as u64);
+            prop_assert_eq!(intersect_simd_count(&a, &b, blocks, &mut wv), vo.len() as u64);
+            prop_assert_eq!(ws, wv, "intersect_count charges {}", &ctx);
+
+            let (mut so, mut vo) = (Vec::new(), Vec::new());
+            let (mut ws, mut wv) = (WorkCounters::default(), WorkCounters::default());
+            intersect_bounded_into(&a, &b, bound, &mut so, &mut ws);
+            intersect_simd_bounded_into(&a, &b, bound, blocks, &mut vo, &mut wv);
+            prop_assert_eq!(&so, &vo, "bounded intersect {}", &ctx);
+            prop_assert_eq!(ws, wv, "bounded intersect charges {}", &ctx);
+            prop_assert_eq!(intersect_bounded_count(&a, &b, bound, &mut ws), so.len() as u64);
+            prop_assert_eq!(
+                intersect_simd_bounded_count(&a, &b, bound, blocks, &mut wv),
+                vo.len() as u64
+            );
+            prop_assert_eq!(ws, wv, "bounded count charges {}", &ctx);
+
+            let (mut so, mut vo) = (Vec::new(), Vec::new());
+            let (mut ws, mut wv) = (WorkCounters::default(), WorkCounters::default());
+            difference_into(&a, &b, &mut so, &mut ws);
+            difference_simd_into(&a, &b, blocks, &mut vo, &mut wv);
+            prop_assert_eq!(&so, &vo, "difference {}", &ctx);
+            prop_assert_eq!(ws, wv, "difference charges {}", &ctx);
+
+            let (mut so, mut vo) = (Vec::new(), Vec::new());
+            let (mut ws, mut wv) = (WorkCounters::default(), WorkCounters::default());
+            difference_bounded_into(&a, &b, bound, &mut so, &mut ws);
+            difference_simd_bounded_into(&a, &b, bound, blocks, &mut vo, &mut wv);
+            prop_assert_eq!(&so, &vo, "bounded difference {}", &ctx);
+            prop_assert_eq!(ws, wv, "bounded difference charges {}", &ctx);
+        }
+    }
+}
+
+/// Random graphs mixing skewed (hub-bearing) and uniform shapes, as in
+/// the hub-bitmap differential suite.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    let hubbed =
+        (20u32..60, 2u32..=4, 10u32..40, any::<u64>()).prop_map(|(n, m, hub_deg, seed)| {
+            let base = generators::powerlaw_cluster(n as usize, m as usize, 0.5, seed);
+            let deg = (hub_deg as usize).min(base.num_vertices());
+            generators::attach_hubs(&base, 2, deg, seed ^ 0x9e37)
+        });
+    let er = (10u32..50, 1u32..=4, any::<u64>())
+        .prop_map(|(n, p10, seed)| generators::erdos_renyi(n as usize, p10 as f64 / 10.0, seed));
+    (any::<bool>(), hubbed, er).prop_map(|(pick, h, e)| if pick { h } else { e })
+}
+
+/// `r_off`'s counters with its merge dispatches relabeled as SIMD — what
+/// an otherwise-identical SIMD run must report.
+fn relabeled(off: WorkCounters) -> WorkCounters {
+    WorkCounters {
+        merge_dispatches: 0,
+        simd_dispatches: off.merge_dispatches + off.simd_dispatches,
+        ..off
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// End-to-end differential: `simd` on/off is result-invisible across
+    /// patterns × threads {1,4} × cmap × hub — identical counts, status,
+    /// and every work counter except the merge→simd relabeling.
+    #[test]
+    fn simd_toggle_is_result_invisible(
+        g in arb_graph(),
+        use_cmap in any::<bool>(),
+        hub in any::<bool>(),
+    ) {
+        for pattern in [
+            Pattern::triangle(),
+            Pattern::cycle(4),
+            Pattern::diamond(),
+            Pattern::k_clique(4),
+        ] {
+            let plan = compile(&pattern, CompileOptions::default());
+            for threads in [1usize, 4] {
+                let on = EngineConfig {
+                    threads,
+                    use_cmap,
+                    hub_bitmap: hub,
+                    hub_degree_threshold: 4,
+                    simd: true,
+                    ..EngineConfig::default()
+                };
+                let off = EngineConfig { simd: false, ..on };
+                let r_on = mine(&g, &plan, &on);
+                let r_off = mine(&g, &plan, &off);
+                let ctx = format!("{pattern} threads={threads} cmap={use_cmap} hub={hub}");
+                prop_assert_eq!(&r_on.counts, &r_off.counts, "counts: {}", &ctx);
+                prop_assert_eq!(r_on.status, r_off.status, "status: {}", &ctx);
+                prop_assert_eq!(r_off.work.simd_dispatches, 0, "simd off must never dispatch");
+                if simd::runtime_available() {
+                    prop_assert_eq!(r_on.work, relabeled(r_off.work), "work: {}", &ctx);
+                } else {
+                    prop_assert_eq!(r_on.work, r_off.work, "work (fallback): {}", &ctx);
+                }
+            }
+        }
+    }
+}
