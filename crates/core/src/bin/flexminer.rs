@@ -15,14 +15,15 @@
 //! `gen:powerlaw,n=10000,m=6,closure=0.5,seed=42`,
 //! `gen:er,n=1000,p=0.05,seed=1`, or `gen:complete,n=32`.
 
+use flexminer::jobs::SupervisorConfig;
+use flexminer::serve::{self, ServeConfig};
 use flexminer::telemetry::{parse_cadence, LogLevel, TraceClock};
 use flexminer::{
-    apps, report, Backend, Budget, EngineConfig, MineError, Miner, Pattern, ProgressOptions,
-    RunStatus, SimConfig, TelemetryOptions,
+    apps, graphspec, report, Backend, Budget, EngineConfig, MineError, Miner, Pattern,
+    ProgressOptions, RunStatus, SimConfig, TelemetryOptions,
 };
 use fm_graph::{generators, io, CsrGraph, GraphStats};
 use fm_sim::EnergyModel;
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Duration;
@@ -39,6 +40,7 @@ fn main() {
         "motifs" => cmd_motifs(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other}")),
     };
@@ -54,15 +56,10 @@ fn main() {
 /// Exit code for a run's final status, so scripts can tell a truncated
 /// count from a total one: 0 complete, 3 deadline exceeded, 4 budget
 /// exhausted, 5 cancelled, 6 degraded (isolated task faults). Codes 1–2
-/// stay reserved for errors and usage; 7 is the simulator watchdog.
+/// stay reserved for errors and usage; 7 is the simulator watchdog, and
+/// serve jobs extend the table with 8 (rejected) and 9 (drained).
 fn exit_code(status: RunStatus) -> i32 {
-    match status {
-        RunStatus::Complete => 0,
-        RunStatus::DeadlineExceeded => 3,
-        RunStatus::BudgetExhausted => 4,
-        RunStatus::Cancelled => 5,
-        RunStatus::Degraded => 6,
-    }
+    serve::status_exit_code(status)
 }
 
 /// Reports a partial run on stderr: results on stdout stay machine
@@ -199,6 +196,10 @@ commands:
   motifs <k> --graph <input> [--threads N]  k-motif census (vertex-induced)
   generate <spec> --out <file>              write a synthetic graph as an edge list
   stats --graph <input>                     print graph statistics
+  serve [flags]                             multi-job supervisor speaking JSONL
+        [--socket PATH] [--spool DIR] [--exit-when-idle]
+        [--workers N] [--max-running N] [--queue-capacity N]
+        [--memory-budget BYTES] [--stint-tasks N] [--max-attempts K]
 
 inputs:
   a path to an edge-list file, or gen:<kind>,k=v,...  with kinds
@@ -235,11 +236,23 @@ telemetry (off by default; defaults stay bit-identical):
                                silences advisories, warn keeps truncation
                                warnings
 
+serve protocol (JSONL, one object per line, over stdio or --socket):
+  {{\"op\":\"submit\",\"pattern\":P,\"graph\":G[,\"name\":S,\"induced\":B,
+   \"threads\":N,\"priority\":N,\"max_attempts\":K]}}   admit a job
+  {{\"op\":\"wait\",\"id\":N}}    block until the job's terminal outcome
+  {{\"op\":\"status\"}}          supervisor gauges   {{\"op\":\"cancel\",\"id\":N}}
+  {{\"op\":\"metrics\"[,\"format\":\"prometheus\"]}}    exporter document
+  {{\"op\":\"shutdown\"}}        drain to --spool checkpoints and exit
+  SIGTERM drains identically; restarting with the same --spool resumes
+  every drained job bit-for-bit
+
 exit codes:
   0 complete   1 error (incl. checkpoint mismatch)   2 usage   3 deadline
   exceeded   4 budget exhausted   5 cancelled   6 degraded (tasks
   quarantined after exhausting retries)   7 watchdog tripped;
-  codes 3-6 still print exact counts for the completed start vertices"
+  codes 3-6 still print exact counts for the completed start vertices.
+  serve job outcomes reuse 0-6 and add 8 (rejected by admission control)
+  and 9 (drained to a checkpoint at shutdown)"
     );
     exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -261,42 +274,7 @@ fn parse_pattern(args: &[String]) -> Result<Pattern, String> {
 
 fn load_graph(args: &[String]) -> Result<CsrGraph, String> {
     let input = flag_value(args, "--graph").ok_or("missing --graph <input>")?;
-    if let Some(spec) = input.strip_prefix("gen:") {
-        return generate_graph(spec);
-    }
-    let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
-    io::read_edge_list(file).map_err(|e| format!("parse {input}: {e}"))
-}
-
-fn generate_graph(spec: &str) -> Result<CsrGraph, String> {
-    let mut parts = spec.split(',');
-    let kind = parts.next().ok_or("empty generator spec")?;
-    let kv: HashMap<&str, &str> = parts.filter_map(|p| p.split_once('=')).collect();
-    let get_u = |k: &str, default: usize| -> Result<usize, String> {
-        kv.get(k).map_or(Ok(default), |v| v.parse().map_err(|e| format!("bad {k}: {e}")))
-    };
-    let get_f = |k: &str, default: f64| -> Result<f64, String> {
-        kv.get(k).map_or(Ok(default), |v| v.parse().map_err(|e| format!("bad {k}: {e}")))
-    };
-    let seed = get_u("seed", 1)? as u64;
-    Ok(match kind {
-        "powerlaw" => generators::powerlaw_cluster(
-            get_u("n", 10_000)?,
-            get_u("m", 5)?,
-            get_f("closure", 0.5)?,
-            seed,
-        ),
-        "pa" => generators::preferential_attachment(get_u("n", 10_000)?, get_u("m", 5)?, seed),
-        "er" => generators::erdos_renyi(get_u("n", 1_000)?, get_f("p", 0.01)?, seed),
-        "complete" => generators::complete(get_u("n", 16)?),
-        "caveman" => generators::caveman(
-            get_u("communities", 50)?,
-            get_u("size", 10)?,
-            get_u("bridges", 100)?,
-            seed,
-        ),
-        other => return Err(format!("unknown generator kind {other}")),
-    })
+    graphspec::load(input)
 }
 
 fn cmd_plan(args: &[String]) -> CliResult {
@@ -509,7 +487,7 @@ fn cmd_generate(args: &[String]) -> CliResult {
     let spec = args.first().ok_or("missing <spec>")?;
     let spec = spec.strip_prefix("gen:").unwrap_or(spec);
     let out = flag_value(args, "--out").ok_or("missing --out <file>")?;
-    let g = generate_graph(spec)?;
+    let g = graphspec::generate(spec)?;
     let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     io::write_edge_list(&g, file).map_err(|e| e.to_string())?;
     eprintln!("wrote {} ({} vertices, {} edges)", out, g.num_vertices(), g.num_undirected_edges());
@@ -522,4 +500,33 @@ fn cmd_stats(args: &[String]) -> CliResult {
     println!("{s}");
     println!("symmetric: {}", g.is_symmetric());
     Ok(0)
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut sup = SupervisorConfig::default();
+    if let Some(v) = flag_value(args, "--workers") {
+        sup.workers = v.parse().map_err(|e| format!("bad --workers: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--max-running") {
+        sup.max_running = v.parse().map_err(|e| format!("bad --max-running: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--queue-capacity") {
+        sup.queue_capacity = v.parse().map_err(|e| format!("bad --queue-capacity: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--memory-budget") {
+        sup.memory_budget_bytes = v.parse().map_err(|e| format!("bad --memory-budget: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--stint-tasks") {
+        sup.stint_tasks = v.parse().map_err(|e| format!("bad --stint-tasks: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--max-attempts") {
+        sup.max_attempts = v.parse().map_err(|e| format!("bad --max-attempts: {e}"))?;
+    }
+    let cfg = ServeConfig {
+        socket: flag_value(args, "--socket").map(PathBuf::from),
+        spool: flag_value(args, "--spool").map(PathBuf::from),
+        exit_when_idle: has_flag(args, "--exit-when-idle"),
+        supervisor: sup,
+    };
+    serve::run(cfg)
 }

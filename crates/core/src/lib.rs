@@ -45,13 +45,16 @@
 //! SL, k-MC) live in [`apps`].
 
 pub mod apps;
+pub mod graphspec;
 pub mod miner;
 pub mod report;
+pub mod serve;
 
 // Whole-subsystem re-exports, so downstream users need only the
 // `flexminer` dependency: `flexminer::graph::generators`, etc.
 pub use fm_engine as engine;
 pub use fm_graph as graph;
+pub use fm_jobs as jobs;
 pub use fm_pattern as pattern;
 pub use fm_plan as plan;
 pub use fm_sim as sim;

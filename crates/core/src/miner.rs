@@ -143,6 +143,7 @@ pub struct MiningOutcome {
     quarantined: Vec<Fault>,
     stragglers: Vec<Straggler>,
     checkpoint_error: Option<String>,
+    checkpoint_failures: u64,
     telemetry: Option<Box<fm_telemetry::TelemetryShard>>,
 }
 
@@ -191,6 +192,15 @@ impl MiningOutcome {
     pub fn checkpoint_error(&self) -> Option<&str> {
         self.checkpoint_error.as_deref()
     }
+
+    /// Total checkpoint-write attempts that failed over the run, counting
+    /// every retry of the capped-backoff write path — non-zero even when
+    /// a later retry succeeded and [`checkpoint_error`](Self::checkpoint_error)
+    /// is clear.
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.checkpoint_failures
+    }
+
     /// Unique embedding counts, in pattern order.
     pub fn counts(&self) -> Vec<u64> {
         self.per_pattern.iter().map(|p| p.count).collect()
@@ -583,6 +593,7 @@ impl<'g> Miner<'g> {
             quarantined: result.quarantined,
             stragglers: result.stragglers,
             checkpoint_error: result.checkpoint_error,
+            checkpoint_failures: result.checkpoint_failures,
             telemetry: result.telemetry,
         })
     }

@@ -66,6 +66,16 @@ fn outcome_metrics(doc: &mut MetricsDoc, outcome: &MiningOutcome) {
         "1 iff periodic checkpointing stopped on a write error",
         if outcome.checkpoint_error().is_some() { 1.0 } else { 0.0 },
     );
+    doc.counter(
+        "fm_checkpoint_write_failures",
+        "Failed checkpoint-write attempts (including retries that later healed)",
+        outcome.checkpoint_failures(),
+    );
+    doc.counter(
+        "fm_progress_dropped",
+        "Progress reports skipped because the emitter lock was contended",
+        outcome.telemetry().map_or(0, |s| s.progress_dropped),
+    );
 }
 
 /// Builds the metrics document for a software-backend run: outcome and
@@ -314,6 +324,8 @@ mod tests {
         assert!(prom.contains("fm_dispatches{tier=\"merge\"}"), "{prom}");
         assert!(prom.contains("fm_dispatches{tier=\"simd\"}"), "{prom}");
         assert!(prom.contains("fm_task_wall_time_us_count"), "{prom}");
+        assert!(prom.contains("fm_checkpoint_write_failures 0"), "{prom}");
+        assert!(prom.contains("fm_progress_dropped 0"), "{prom}");
         // The tier rows partition the invocation counter (satellite of the
         // dispatch-tier invariant).
         let w = outcome.work().unwrap();

@@ -1,0 +1,677 @@
+//! `flexminer serve` — a long-lived mining service over the
+//! [`fm_jobs::Supervisor`].
+//!
+//! The protocol is hand-rolled JSONL (one request object per line, one
+//! response object per line) spoken over stdio by default or a unix
+//! domain socket with `--socket`. Operations:
+//!
+//! | op         | fields                                                      | response |
+//! |------------|-------------------------------------------------------------|----------|
+//! | `submit`   | `pattern`, `graph`, `name?`, `induced?`, `threads?`, `priority?`, `max_attempts?` | `{"ok":true,"id":N}` or the admission rejection |
+//! | `wait`     | `id`                                                        | the job's terminal outcome |
+//! | `status`   |                                                             | supervisor gauges |
+//! | `metrics`  | `format?` (`prometheus` or `json`)                          | `{"ok":true,"body":...}` |
+//! | `cancel`   | `id`                                                        | `{"ok":bool}` |
+//! | `shutdown` |                                                             | `{"ok":true}`, then the process drains |
+//!
+//! On SIGTERM/SIGINT (or the `shutdown` op — both arm the same
+//! [`fm_jobs::signal`] latch) the supervisor drains every unfinished job
+//! to a checkpoint under `--spool` and records a resubmission manifest;
+//! a restarted `serve` with the same spool resumes each job and its final
+//! counts are bit-identical to an uninterrupted run. At exit the process
+//! prints one `{"event":"job",...}` summary line per terminal job on
+//! stdout, sorted by job name, so restart tooling can diff runs.
+
+use crate::graphspec;
+use fm_engine::{Checkpoint, EngineConfig, RunStatus};
+use fm_graph::CsrGraph;
+use fm_jobs::jsonl::{self, Json, ObjWriter};
+use fm_jobs::{signal, JobHandle, JobOutcome, JobSpec, Supervisor, SupervisorConfig};
+use fm_pattern::Pattern;
+use fm_plan::{compile, CompileOptions, ExecutionPlan};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// How `flexminer serve` runs: transport, durability spool, and the
+/// supervisor's admission limits.
+#[derive(Clone, Debug, Default)]
+pub struct ServeConfig {
+    /// Unix-socket path to listen on; `None` speaks JSONL over stdio.
+    pub socket: Option<PathBuf>,
+    /// Directory for drain checkpoints and the resume manifest.
+    pub spool: Option<PathBuf>,
+    /// Exit once at least one job was submitted and all jobs resolved.
+    pub exit_when_idle: bool,
+    /// Worker-pool and admission-control limits.
+    pub supervisor: SupervisorConfig,
+}
+
+/// Exit code for a run status, shared by `count` and per-job serve
+/// outcomes: 0 complete, 3 deadline exceeded, 4 budget exhausted,
+/// 5 cancelled, 6 degraded.
+pub fn status_exit_code(status: RunStatus) -> i32 {
+    match status {
+        RunStatus::Complete => 0,
+        RunStatus::DeadlineExceeded => 3,
+        RunStatus::BudgetExhausted => 4,
+        RunStatus::Cancelled => 5,
+        RunStatus::Degraded => 6,
+    }
+}
+
+/// Per-job exit code extending [`status_exit_code`] with the supervisor's
+/// two extra terminal states: 8 rejected by admission control, 9 drained
+/// to a checkpoint by shutdown.
+pub fn job_exit_code(outcome: &JobOutcome) -> i32 {
+    match outcome {
+        JobOutcome::Finished(r) => status_exit_code(r.status),
+        JobOutcome::Rejected { .. } => 8,
+        JobOutcome::Drained { .. } => 9,
+    }
+}
+
+/// Everything needed to report a job and to resubmit it after a drain.
+struct JobMeta {
+    name: String,
+    graph: String,
+    pattern: String,
+    induced: bool,
+    threads: usize,
+    priority: i32,
+    max_attempts: Option<u32>,
+    plan: Arc<ExecutionPlan>,
+}
+
+struct Tracked {
+    handle: JobHandle,
+    meta: JobMeta,
+}
+
+struct ServeState {
+    cfg: ServeConfig,
+    sup: Supervisor,
+    jobs: Mutex<Vec<Tracked>>,
+    graphs: Mutex<HashMap<String, Arc<CsrGraph>>>,
+    submitted_any: AtomicBool,
+}
+
+impl ServeState {
+    fn new(cfg: ServeConfig) -> ServeState {
+        let sup = Supervisor::new(cfg.supervisor.clone());
+        ServeState {
+            cfg,
+            sup,
+            jobs: Mutex::new(Vec::new()),
+            graphs: Mutex::new(HashMap::new()),
+            submitted_any: AtomicBool::new(false),
+        }
+    }
+
+    fn jobs_all_resolved(&self) -> bool {
+        self.jobs
+            .lock()
+            .expect("serve job table poisoned")
+            .iter()
+            .all(|t| t.handle.try_outcome().is_some())
+    }
+
+    fn graph_for(&self, spec: &str) -> Result<Arc<CsrGraph>, String> {
+        if let Some(g) = self.graphs.lock().expect("serve graph cache poisoned").get(spec) {
+            return Ok(Arc::clone(g));
+        }
+        // Load outside the lock — file parses and generators can be slow.
+        let g = Arc::new(graphspec::load(spec)?);
+        let mut cache = self.graphs.lock().expect("serve graph cache poisoned");
+        Ok(Arc::clone(cache.entry(spec.to_string()).or_insert(g)))
+    }
+
+    /// Parses and submits one job; `resume` carries a drain checkpoint on
+    /// restart. Returns the response line.
+    fn submit(&self, req: &Json, resume: Option<Checkpoint>) -> String {
+        match self.try_submit(req, resume) {
+            Ok(line) => line,
+            Err(e) => err_line(&e),
+        }
+    }
+
+    fn try_submit(&self, req: &Json, resume: Option<Checkpoint>) -> Result<String, String> {
+        let pattern_spec =
+            req.get("pattern").and_then(Json::as_str).ok_or("submit needs a pattern")?;
+        let graph_spec = req.get("graph").and_then(Json::as_str).ok_or("submit needs a graph")?;
+        let induced = req.get("induced").and_then(Json::as_bool).unwrap_or(false);
+        let threads =
+            req.get("threads").and_then(Json::as_u64).unwrap_or(1).clamp(1, 1 << 16) as usize;
+        let priority = req.get("priority").and_then(Json::as_i64).unwrap_or(0) as i32;
+        let max_attempts = req.get("max_attempts").and_then(Json::as_u64).map(|v| v as u32);
+        let pattern: Pattern =
+            pattern_spec.parse().map_err(|e| format!("bad pattern {pattern_spec:?}: {e}"))?;
+        let plan = Arc::new(compile(&pattern, CompileOptions { induced, ..Default::default() }));
+        let graph = self.graph_for(graph_spec)?;
+        let name = req
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{pattern_spec}@{graph_spec}"));
+        let meta = JobMeta {
+            name: name.clone(),
+            graph: graph_spec.to_string(),
+            pattern: pattern_spec.to_string(),
+            induced,
+            threads,
+            priority,
+            max_attempts,
+            plan: Arc::clone(&plan),
+        };
+        let spec = JobSpec {
+            priority,
+            graph_key: graphspec::fingerprint(graph_spec),
+            max_attempts,
+            resume,
+            ..JobSpec::new(name, graph, plan, EngineConfig::with_threads(threads))
+        };
+        let handle = self.sup.submit(spec);
+        self.submitted_any.store(true, Ordering::SeqCst);
+        let id = handle.id();
+        // Admission rejections resolve synchronously inside `submit`;
+        // surface them on the response instead of making callers wait.
+        let line = match handle.try_outcome() {
+            Some(JobOutcome::Rejected { reason }) => ObjWriter::new()
+                .bool("ok", false)
+                .u64("id", id)
+                .str("outcome", "rejected")
+                .i64("exit_code", 8)
+                .str("error", &reason)
+                .finish(),
+            _ => {
+                ObjWriter::new().bool("ok", true).u64("id", id).str("name", handle.name()).finish()
+            }
+        };
+        self.jobs.lock().expect("serve job table poisoned").push(Tracked { handle, meta });
+        Ok(line)
+    }
+
+    /// One request line in, one response line out.
+    fn handle_line(&self, line: &str) -> String {
+        let req = match jsonl::parse(line) {
+            Ok(v) => v,
+            Err(e) => return err_line(&format!("bad request: {e}")),
+        };
+        let Some(op) = req.get("op").and_then(Json::as_str) else {
+            return err_line("missing op");
+        };
+        match op {
+            "submit" => self.submit(&req, None),
+            "wait" => self.wait(&req),
+            "status" => self.status(),
+            "metrics" => self.metrics(&req),
+            "cancel" => match req.get("id").and_then(Json::as_u64) {
+                Some(id) => ObjWriter::new().bool("ok", self.sup.cancel(id)).finish(),
+                None => err_line("cancel needs an id"),
+            },
+            "shutdown" => {
+                signal::request_termination();
+                ObjWriter::new().bool("ok", true).finish()
+            }
+            other => err_line(&format!("unknown op {other}")),
+        }
+    }
+
+    /// Blocks until the job's terminal outcome, polling so a termination
+    /// signal can still drain the process out from under the waiter.
+    fn wait(&self, req: &Json) -> String {
+        let Some(id) = req.get("id").and_then(Json::as_u64) else {
+            return err_line("wait needs an id");
+        };
+        loop {
+            let resolved = {
+                let jobs = self.jobs.lock().expect("serve job table poisoned");
+                let Some(t) = jobs.iter().find(|t| t.handle.id() == id) else {
+                    return err_line("unknown job id");
+                };
+                t.handle.try_outcome().map(|o| outcome_line(id, &t.meta, &o))
+            };
+            if let Some(line) = resolved {
+                return line;
+            }
+            if signal::termination_requested() {
+                return err_line("terminating");
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn status(&self) -> String {
+        let s = self.sup.stats();
+        ObjWriter::new()
+            .bool("ok", true)
+            .u64("submitted", s.submitted)
+            .u64("rejected", s.rejected)
+            .u64("preempted", s.preempted)
+            .u64("retries", s.retries)
+            .u64("completed", s.completed)
+            .u64("drained", s.drained)
+            .u64("queued", s.queued)
+            .u64("running", s.running)
+            .u64("memory_bytes", s.memory_bytes)
+            .u64("memory_budget_bytes", s.memory_budget_bytes)
+            .finish()
+    }
+
+    fn metrics(&self, req: &Json) -> String {
+        let doc = self.sup.metrics();
+        match req.get("format").and_then(Json::as_str).unwrap_or("json") {
+            "prometheus" => ObjWriter::new().bool("ok", true).str("body", &doc.to_prometheus()),
+            _ => ObjWriter::new().bool("ok", true).raw("body", &doc.to_json()),
+        }
+        .finish()
+    }
+
+    /// Resubmits every job recorded by a previous process's drain. The
+    /// manifest is consumed (deleted) first so a crash mid-resume cannot
+    /// double-submit on the next restart.
+    fn resume_manifest(&self) {
+        let Some(spool) = self.cfg.spool.as_ref() else { return };
+        let manifest = spool.join("manifest.jsonl");
+        let Ok(body) = std::fs::read_to_string(&manifest) else { return };
+        let _ = std::fs::remove_file(&manifest);
+        for line in body.lines().filter(|l| !l.trim().is_empty()) {
+            match resume_entry(line) {
+                Ok((req, ckpt)) => {
+                    let resp = self.submit(&req, Some(ckpt));
+                    eprintln!("resumed from manifest: {resp}");
+                }
+                Err(e) => eprintln!("manifest entry skipped: {e}"),
+            }
+        }
+    }
+
+    /// Drains the supervisor, writes the resume manifest, and prints the
+    /// per-job summary lines. Returns the process exit code.
+    fn finish(&self) -> i32 {
+        let drained = self.sup.shutdown(self.cfg.spool.as_deref());
+        let jobs = self.jobs.lock().expect("serve job table poisoned");
+        if !drained.is_empty() {
+            let mut manifest = String::new();
+            for d in &drained {
+                if let Some(e) = &d.error {
+                    eprintln!("drain: job {} ({}) lost its checkpoint: {e}", d.id, d.name);
+                }
+                let Some(ckpt) = &d.checkpoint else { continue };
+                let Some(t) = jobs.iter().find(|t| t.handle.id() == d.id) else { continue };
+                let mut w = ObjWriter::new()
+                    .str("name", &t.meta.name)
+                    .str("graph", &t.meta.graph)
+                    .str("pattern", &t.meta.pattern)
+                    .bool("induced", t.meta.induced)
+                    .u64("threads", t.meta.threads as u64)
+                    .i64("priority", t.meta.priority as i64)
+                    .str("checkpoint", &ckpt.display().to_string());
+                if let Some(a) = t.meta.max_attempts {
+                    w = w.u64("max_attempts", a as u64);
+                }
+                manifest.push_str(&w.finish());
+                manifest.push('\n');
+                eprintln!("drained: job {} ({}) -> {}", d.id, d.name, ckpt.display());
+            }
+            if let Some(spool) = self.cfg.spool.as_ref() {
+                let path = spool.join("manifest.jsonl");
+                if let Err(e) = std::fs::write(&path, manifest) {
+                    eprintln!("drain: manifest write failed: {e}");
+                }
+            }
+        }
+        // One summary line per terminal job, sorted by name — ids change
+        // across a restart, names don't, so restart tooling diffs these.
+        let mut lines: Vec<(String, String)> = jobs
+            .iter()
+            .filter_map(|t| {
+                let outcome = t.handle.try_outcome()?;
+                if matches!(outcome, JobOutcome::Drained { .. }) {
+                    return None; // resumes elsewhere; reported there
+                }
+                Some((t.meta.name.clone(), event_line(&t.meta, &outcome)))
+            })
+            .collect();
+        lines.sort();
+        let mut out = std::io::stdout().lock();
+        for (_, line) in &lines {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = out.flush();
+        0
+    }
+}
+
+fn err_line(msg: &str) -> String {
+    ObjWriter::new().bool("ok", false).str("error", msg).finish()
+}
+
+/// Fields shared by `wait` responses and exit summary lines.
+fn outcome_fields(w: ObjWriter, meta: &JobMeta, outcome: &JobOutcome) -> ObjWriter {
+    let w = w.i64("exit_code", job_exit_code(outcome) as i64);
+    match outcome {
+        JobOutcome::Finished(r) => {
+            let counts = r.try_unique_counts(&meta.plan).unwrap_or_else(|| r.counts.clone());
+            w.str("outcome", "finished")
+                .str("status", r.status.as_str())
+                .raw("counts", &jsonl::u64_array(&counts))
+                .u64("faults", r.faults.len() as u64)
+                .u64("quarantined", r.quarantined.len() as u64)
+        }
+        JobOutcome::Rejected { reason } => w.str("outcome", "rejected").str("error", reason),
+        JobOutcome::Drained { checkpoint } => {
+            let w = w.str("outcome", "drained");
+            match checkpoint {
+                Some(p) => w.str("checkpoint", &p.display().to_string()),
+                None => w,
+            }
+        }
+    }
+}
+
+fn outcome_line(id: u64, meta: &JobMeta, outcome: &JobOutcome) -> String {
+    let ok = !matches!(outcome, JobOutcome::Rejected { .. });
+    let w = ObjWriter::new().bool("ok", ok).u64("id", id).str("name", &meta.name);
+    outcome_fields(w, meta, outcome).finish()
+}
+
+fn event_line(meta: &JobMeta, outcome: &JobOutcome) -> String {
+    let w = ObjWriter::new()
+        .str("event", "job")
+        .str("name", &meta.name)
+        .str("pattern", &meta.pattern)
+        .str("graph", &meta.graph);
+    outcome_fields(w, meta, outcome).finish()
+}
+
+/// Parses one manifest line back into a submit request plus its loaded
+/// checkpoint.
+fn resume_entry(line: &str) -> Result<(Json, Checkpoint), String> {
+    let req = jsonl::parse(line)?;
+    let path =
+        req.get("checkpoint").and_then(Json::as_str).ok_or("manifest entry missing checkpoint")?;
+    let ckpt =
+        Checkpoint::load(std::path::Path::new(path)).map_err(|e| format!("load {path}: {e}"))?;
+    Ok((req, ckpt))
+}
+
+/// Runs the serve loop to completion; returns the process exit code.
+///
+/// # Errors
+///
+/// Fails on transport setup problems (socket bind, spool creation); once
+/// the loop is up, per-request problems become error responses instead.
+pub fn run(cfg: ServeConfig) -> Result<i32, String> {
+    signal::install_termination_latch();
+    if let Some(spool) = cfg.spool.as_ref() {
+        std::fs::create_dir_all(spool)
+            .map_err(|e| format!("create spool {}: {e}", spool.display()))?;
+    }
+    let state = Arc::new(ServeState::new(cfg));
+    state.resume_manifest();
+    match state.cfg.socket.clone() {
+        Some(path) => run_socket(&state, &path),
+        None => run_stdio(&state),
+    }
+}
+
+/// True once the loop should stop: a termination signal arrived, or
+/// idle-exit is armed and every submitted job has resolved.
+fn should_exit(state: &ServeState, eof: bool) -> bool {
+    if signal::termination_requested() {
+        return true;
+    }
+    let idle_armed =
+        eof || (state.cfg.exit_when_idle && state.submitted_any.load(Ordering::SeqCst));
+    idle_armed && state.jobs_all_resolved()
+}
+
+fn ready_line(transport: &str) {
+    println!("{}", ObjWriter::new().str("event", "ready").str("transport", transport).finish());
+    let _ = std::io::stdout().flush();
+}
+
+fn run_stdio(state: &Arc<ServeState>) -> Result<i32, String> {
+    // A dedicated reader thread feeds a channel: SIGTERM must be able to
+    // drain the process while the main loop would otherwise sit in a
+    // blocking `read_line` (the latch's `signal(2)` handler implies
+    // SA_RESTART, so blocking reads never EINTR out).
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::Builder::new()
+        .name("fm-serve-stdin".into())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+            // Channel disconnect signals EOF to the main loop.
+        })
+        .map_err(|e| format!("spawn stdin reader: {e}"))?;
+    ready_line("stdio");
+    let mut eof = false;
+    loop {
+        if should_exit(state, eof) {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                println!("{}", state.handle_line(&line));
+                let _ = std::io::stdout().flush();
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => eof = true,
+        }
+    }
+    Ok(state.finish())
+}
+
+#[cfg(unix)]
+fn run_socket(state: &Arc<ServeState>, path: &std::path::Path) -> Result<i32, String> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("bind {}: {e}", path.display()))?;
+    listener.set_nonblocking(true).map_err(|e| format!("nonblocking {}: {e}", path.display()))?;
+    ready_line("socket");
+    loop {
+        if should_exit(state, false) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let st = Arc::clone(state);
+                // Connection threads are detached; they die with the
+                // process after the drain below.
+                let _ = std::thread::Builder::new().name("fm-serve-conn".into()).spawn(move || {
+                    let mut reader =
+                        std::io::BufReader::new(stream.try_clone().expect("serve socket clone"));
+                    let mut stream = stream;
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let resp = st.handle_line(&line);
+                        if writeln!(stream, "{resp}").is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("accept: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    let code = state.finish();
+    let _ = std::fs::remove_file(path);
+    Ok(code)
+}
+
+#[cfg(not(unix))]
+fn run_socket(_state: &Arc<ServeState>, _path: &std::path::Path) -> Result<i32, String> {
+    Err("--socket requires a unix platform; use stdio mode".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(cfg: ServeConfig) -> ServeState {
+        ServeState::new(cfg)
+    }
+
+    #[test]
+    fn submit_wait_status_roundtrip_over_protocol() {
+        let st = state(ServeConfig::default());
+        let resp = st.handle_line(
+            r#"{"op":"submit","name":"tri","pattern":"triangle","graph":"gen:complete,n=6"}"#,
+        );
+        let v = jsonl::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        let id = v.get("id").and_then(Json::as_u64).unwrap();
+        let done = st.handle_line(&format!(r#"{{"op":"wait","id":{id}}}"#));
+        let d = jsonl::parse(&done).unwrap();
+        assert_eq!(d.get("outcome").and_then(Json::as_str), Some("finished"), "{done}");
+        assert_eq!(d.get("exit_code").and_then(Json::as_i64), Some(0), "{done}");
+        // complete(6) holds C(6,3) = 20 triangles.
+        let counts = d.get("counts").and_then(Json::as_arr).unwrap();
+        assert_eq!(counts[0].as_u64(), Some(20), "{done}");
+        let status = st.handle_line(r#"{"op":"status"}"#);
+        let s = jsonl::parse(&status).unwrap();
+        assert_eq!(s.get("submitted").and_then(Json::as_u64), Some(1), "{status}");
+        let metrics = st.handle_line(r#"{"op":"metrics","format":"prometheus"}"#);
+        assert!(metrics.contains("fm_jobs_submitted_total"), "{metrics}");
+        st.sup.shutdown(None);
+    }
+
+    #[test]
+    fn protocol_errors_are_responses_not_crashes() {
+        let st = state(ServeConfig::default());
+        for (req, needle) in [
+            ("not json", "bad request"),
+            (r#"{"no":"op"}"#, "missing op"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"{"op":"submit","pattern":"triangle"}"#, "submit needs a graph"),
+            (r#"{"op":"submit","graph":"gen:complete,n=4"}"#, "submit needs a pattern"),
+            (
+                r#"{"op":"submit","pattern":"zzz-not-a-pattern","graph":"gen:complete,n=4"}"#,
+                "bad pattern",
+            ),
+            (r#"{"op":"wait","id":99}"#, "unknown job id"),
+            (r#"{"op":"cancel"}"#, "cancel needs an id"),
+        ] {
+            let resp = st.handle_line(req);
+            let v = jsonl::parse(&resp).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{req} -> {resp}");
+            assert!(resp.contains(needle), "{req} -> {resp}");
+        }
+        st.sup.shutdown(None);
+    }
+
+    #[test]
+    fn saturated_submit_reports_rejection_with_exit_code_8() {
+        let st = state(ServeConfig {
+            supervisor: SupervisorConfig { memory_budget_bytes: 1, ..Default::default() },
+            ..Default::default()
+        });
+        let resp =
+            st.handle_line(r#"{"op":"submit","pattern":"triangle","graph":"gen:complete,n=16"}"#);
+        let v = jsonl::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{resp}");
+        assert_eq!(v.get("outcome").and_then(Json::as_str), Some("rejected"), "{resp}");
+        assert_eq!(v.get("exit_code").and_then(Json::as_i64), Some(8), "{resp}");
+        assert!(resp.contains("memory budget"), "{resp}");
+        st.sup.shutdown(None);
+    }
+
+    #[test]
+    fn job_exit_codes_cover_the_extended_table() {
+        use fm_engine::MiningResult;
+        let finished = JobOutcome::Finished(MiningResult {
+            status: RunStatus::Degraded,
+            ..Default::default()
+        });
+        assert_eq!(job_exit_code(&finished), 6);
+        assert_eq!(job_exit_code(&JobOutcome::Rejected { reason: "full".into() }), 8);
+        assert_eq!(job_exit_code(&JobOutcome::Drained { checkpoint: None }), 9);
+        assert_eq!(status_exit_code(RunStatus::Complete), 0);
+        assert_eq!(status_exit_code(RunStatus::DeadlineExceeded), 3);
+        assert_eq!(status_exit_code(RunStatus::BudgetExhausted), 4);
+        assert_eq!(status_exit_code(RunStatus::Cancelled), 5);
+    }
+
+    #[test]
+    fn drain_writes_manifest_and_restart_resumes_bit_identically() {
+        let spool = std::env::temp_dir().join(format!("fm-serve-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+        std::fs::create_dir_all(&spool).unwrap();
+        let mk = || {
+            state(ServeConfig {
+                spool: Some(spool.clone()),
+                supervisor: SupervisorConfig { workers: 1, stint_tasks: 4, ..Default::default() },
+                ..Default::default()
+            })
+        };
+        // Reference: the same job, run clean to completion.
+        let clean = mk();
+        let resp = clean.handle_line(
+            r#"{"op":"submit","name":"ref","pattern":"4-cycle","graph":"gen:powerlaw,n=2500,m=4,closure=0.5,seed=7"}"#,
+        );
+        let id = jsonl::parse(&resp).unwrap().get("id").and_then(Json::as_u64).unwrap();
+        let reference = clean.handle_line(&format!(r#"{{"op":"wait","id":{id}}}"#));
+        clean.sup.shutdown(None);
+        let ref_counts = jsonl::parse(&reference)
+            .unwrap()
+            .get("counts")
+            .and_then(|c| c.as_arr().map(|a| a.to_vec()))
+            .unwrap();
+
+        // Interrupted: submit, drain almost immediately, then restart.
+        let first = mk();
+        first.handle_line(
+            r#"{"op":"submit","name":"ref","pattern":"4-cycle","graph":"gen:powerlaw,n=2500,m=4,closure=0.5,seed=7"}"#,
+        );
+        let code = first.finish();
+        assert_eq!(code, 0);
+        // Whether the job finished before the drain is timing-dependent;
+        // the manifest exists exactly when it did not.
+        let manifest = spool.join("manifest.jsonl");
+        if manifest.exists() {
+            let second = mk();
+            second.resume_manifest();
+            assert!(!manifest.exists(), "resume must consume the manifest");
+            let jobs = second.jobs.lock().unwrap();
+            assert_eq!(jobs.len(), 1);
+            let outcome = jobs[0].handle.wait();
+            let JobOutcome::Finished(r) = outcome else {
+                panic!("resumed job must finish, got {outcome:?}")
+            };
+            assert_eq!(r.status, RunStatus::Complete);
+            let resumed = r.try_unique_counts(&jobs[0].meta.plan).unwrap();
+            let want: Vec<u64> = ref_counts.iter().map(|c| c.as_u64().unwrap()).collect();
+            assert_eq!(resumed, want, "drain + resume must be bit-identical");
+            drop(jobs);
+            second.sup.shutdown(None);
+        }
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end tests for `flexminer serve`: the JSONL protocol over real
+//! process stdio, and the SIGTERM drain → restart → bit-identical resume
+//! contract over a unix socket.
+#![cfg(unix)]
+
+use flexminer::{Miner, Pattern};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_flexminer"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fm-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Extracts `"counts":[...]` from a serve response/event line.
+fn counts_of(line: &str) -> Vec<u64> {
+    let (_, rest) = line.split_once("\"counts\":[").expect("line carries counts");
+    let (body, _) = rest.split_once(']').expect("counts array closes");
+    body.split(',').filter(|s| !s.is_empty()).map(|s| s.trim().parse().unwrap()).collect()
+}
+
+fn wait_exit(mut child: Child, secs: u64) -> (i32, String) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        match child.try_wait().unwrap() {
+            Some(status) => {
+                let mut out = String::new();
+                if let Some(mut stdout) = child.stdout.take() {
+                    let _ = stdout.read_to_string(&mut out);
+                }
+                return (status.code().unwrap_or(-1), out);
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("serve did not exit within {secs}s");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// The stdio transport end to end: ready banner, submit/wait/status
+/// responses, EOF-triggered idle exit, and the sorted summary lines.
+#[test]
+fn stdio_submit_wait_and_eof_exit() {
+    let mut child = bin()
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(
+        stdin,
+        "{{\"op\":\"submit\",\"name\":\"tri\",\"pattern\":\"triangle\",\"graph\":\"gen:complete,n=8\"}}"
+    )
+    .unwrap();
+    writeln!(stdin, "{{\"op\":\"wait\",\"id\":1}}").unwrap();
+    writeln!(stdin, "{{\"op\":\"status\"}}").unwrap();
+    drop(stdin); // EOF: serve finishes the job table and exits
+    let (code, out) = wait_exit(child, 60);
+    assert_eq!(code, 0, "stdout: {out}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(lines[0].contains("\"event\":\"ready\""), "{out}");
+    assert!(lines[1].contains("\"ok\":true") && lines[1].contains("\"id\":1"), "{out}");
+    assert!(lines[2].contains("\"outcome\":\"finished\""), "{out}");
+    assert!(lines[2].contains("\"exit_code\":0"), "{out}");
+    // complete(8) holds C(8,3) = 56 triangles.
+    assert_eq!(counts_of(lines[2]), vec![56], "{out}");
+    assert!(lines[3].contains("\"submitted\":1"), "{out}");
+    let event = lines.iter().find(|l| l.contains("\"event\":\"job\"")).expect("summary line");
+    assert!(event.contains("\"name\":\"tri\"") && event.contains("\"exit_code\":0"), "{out}");
+}
+
+fn connect(path: &Path, secs: u64) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Ok(s) = UnixStream::connect(path) {
+            return s;
+        }
+        assert!(Instant::now() < deadline, "socket {} never came up", path.display());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn request(stream: &mut UnixStream, line: &str) -> String {
+    writeln!(stream, "{line}").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    resp
+}
+
+/// The robustness contract end to end: jobs submitted over the socket,
+/// SIGTERM mid-run, drain to spooled checkpoints, restart with the same
+/// spool, and final counts bit-identical to an uninterrupted run.
+#[test]
+fn socket_sigterm_drain_restart_is_bit_identical() {
+    const GRAPH: &str = "gen:powerlaw,n=6000,m=4,closure=0.5,seed=11";
+    let dir = temp_dir("sigterm");
+    let sock = dir.join("serve.sock");
+    let spool = dir.join("spool");
+
+    // In-process reference for the same job.
+    let g = flexminer::graphspec::load(GRAPH).unwrap();
+    let reference = Miner::new(&g).pattern(Pattern::cycle(4)).run().unwrap().counts();
+
+    let child = bin()
+        .args(["serve", "--socket", sock.to_str().unwrap(), "--spool", spool.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let pid = child.id().to_string();
+    let mut conn = connect(&sock, 30);
+    let resp = request(
+        &mut conn,
+        &format!(r#"{{"op":"submit","name":"big","pattern":"4-cycle","graph":"{GRAPH}"}}"#),
+    );
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    // SIGTERM while the job is mid-run: the process must drain, not die.
+    let killed = Command::new("kill").args(["-TERM", &pid]).status().unwrap();
+    assert!(killed.success());
+    let (code, out) = wait_exit(child, 60);
+    assert_eq!(code, 0, "drain exit must be clean; stdout: {out}");
+    assert!(!out.contains("\"event\":\"job\""), "job should have drained, not finished: {out}");
+    assert!(spool.join("manifest.jsonl").exists(), "drain must spool a resume manifest");
+
+    // Restart with the same spool: the manifest resumes the job, which
+    // runs to completion and reports counts identical to the reference.
+    let restarted = bin()
+        .args([
+            "serve",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--spool",
+            spool.to_str().unwrap(),
+            "--exit-when-idle",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let (code, out) = wait_exit(restarted, 120);
+    assert_eq!(code, 0, "stdout: {out}");
+    let event = out
+        .lines()
+        .find(|l| l.contains("\"event\":\"job\"") && l.contains("\"name\":\"big\""))
+        .unwrap_or_else(|| panic!("resumed job must report a summary line: {out}"));
+    assert!(event.contains("\"status\":\"Complete\""), "{event}");
+    assert_eq!(counts_of(event), reference, "drained + resumed counts must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Overload over the wire: a saturated supervisor sheds the extra job
+/// with an explicit rejection on the submit response (exit code 8).
+#[test]
+fn socket_rejects_jobs_beyond_admission_limits() {
+    let dir = temp_dir("reject");
+    let sock = dir.join("serve.sock");
+    let child = bin()
+        .args(["serve", "--socket", sock.to_str().unwrap(), "--queue-capacity", "1"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut conn = connect(&sock, 30);
+    let a = request(
+        &mut conn,
+        r#"{"op":"submit","name":"a","pattern":"4-cycle","graph":"gen:powerlaw,n=4000,m=4,closure=0.5,seed=3"}"#,
+    );
+    assert!(a.contains("\"ok\":true"), "{a}");
+    let b = request(
+        &mut conn,
+        r#"{"op":"submit","name":"b","pattern":"triangle","graph":"gen:complete,n=8"}"#,
+    );
+    assert!(b.contains("\"outcome\":\"rejected\""), "{b}");
+    assert!(b.contains("\"exit_code\":8"), "{b}");
+    assert!(b.contains("queue full"), "{b}");
+    let resp = request(&mut conn, r#"{"op":"shutdown"}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let (code, _) = wait_exit(child, 60);
+    assert_eq!(code, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

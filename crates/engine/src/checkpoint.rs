@@ -726,13 +726,40 @@ struct SinkState {
     snap: Checkpoint,
     tasks_since_write: u64,
     last_write: Instant,
-    /// First write failure; periodic checkpointing stops after one (the
-    /// run itself continues), and the error surfaces on the result.
+    /// Fatal write failure: set only after [`MAX_WRITE_ATTEMPTS`]
+    /// *consecutive* attempts failed. Until then failures are transient —
+    /// counted, backed off, and retried at the next due interval — and
+    /// the run's durability recovers as soon as a write succeeds again.
     error: Option<String>,
+    /// Most recent write error (kept so exhaustion reports the latest
+    /// cause, not the first).
+    last_error: Option<String>,
+    /// Total failed write attempts, transient or fatal. Surfaced on the
+    /// result as [`MiningResult::checkpoint_failures`](crate::result::MiningResult::checkpoint_failures).
+    failed_attempts: u64,
+    /// Consecutive failures since the last successful write; resets to 0
+    /// on success, trips the fatal `error` at [`MAX_WRITE_ATTEMPTS`].
+    consecutive_failures: u64,
+    /// Earliest instant the next retry may run (capped exponential
+    /// backoff after a failure), so a persistently failing disk is not
+    /// hammered once per task.
+    retry_at: Option<Instant>,
     /// Span collection for observed runs (`checkpoint-write` spans,
     /// recorded under the lock already held for the write itself — no new
     /// synchronization on any path).
     trace: Option<(fm_telemetry::TraceClock, Vec<fm_telemetry::Span>)>,
+}
+
+/// Consecutive failed write attempts before periodic checkpointing gives
+/// up for the rest of the run and the error becomes fatal.
+pub const MAX_WRITE_ATTEMPTS: u64 = 5;
+
+/// Backoff before the `n`th retry (1-based): 50ms doubling per failure,
+/// capped at 2s. Deterministic — retry pacing must not perturb counts.
+pub(crate) fn write_backoff(consecutive_failures: u64) -> Duration {
+    let base = Duration::from_millis(50);
+    let shift = consecutive_failures.saturating_sub(1).min(6) as u32;
+    base.saturating_mul(1 << shift).min(Duration::from_secs(2))
 }
 
 impl CheckpointSink {
@@ -751,6 +778,10 @@ impl CheckpointSink {
                 tasks_since_write: 0,
                 last_write: Instant::now(),
                 error: None,
+                last_error: None,
+                failed_attempts: 0,
+                consecutive_failures: 0,
+                retry_at: None,
                 trace: trace.map(|clock| (clock, Vec::new())),
             }),
         }
@@ -785,19 +816,24 @@ impl CheckpointSink {
         s.tasks_since_write += 1;
         let due = (self.cfg.every_tasks > 0 && s.tasks_since_write >= self.cfg.every_tasks)
             || self.cfg.every_wall.is_some_and(|w| s.last_write.elapsed() >= w);
-        if due && s.error.is_none() {
+        // A failed write does not reset `tasks_since_write`, so once the
+        // cadence is due it stays due; the backoff gate alone paces the
+        // retries until either a write succeeds or the attempts exhaust.
+        let retry_ok = s.retry_at.is_none_or(|at| Instant::now() >= at);
+        if due && s.error.is_none() && retry_ok {
             Self::write(&self.cfg.path, &mut s);
         }
     }
 
-    /// Writes a final snapshot regardless of cadence (run end, any
-    /// status), then returns the first write error observed, if any.
-    pub(crate) fn finish(&self) -> Option<String> {
+    /// Writes a final snapshot regardless of cadence or backoff (run end,
+    /// any status), then returns the fatal write error (if retries
+    /// exhausted) and the total number of failed write attempts.
+    pub(crate) fn finish(&self) -> (Option<String>, u64) {
         let mut s = self.state.lock().expect("checkpoint sink poisoned");
         if s.error.is_none() {
             Self::write(&self.cfg.path, &mut s);
         }
-        s.error.clone()
+        (s.error.clone(), s.failed_attempts)
     }
 
     /// Takes the collected `checkpoint-write` spans (driver-side, after
@@ -814,8 +850,21 @@ impl CheckpointSink {
             Ok(()) => {
                 s.tasks_since_write = 0;
                 s.last_write = Instant::now();
+                s.consecutive_failures = 0;
+                s.retry_at = None;
             }
-            Err(e) => s.error = Some(e.to_string()),
+            Err(e) => {
+                s.failed_attempts += 1;
+                s.consecutive_failures += 1;
+                s.last_error = Some(e.to_string());
+                if s.consecutive_failures >= MAX_WRITE_ATTEMPTS {
+                    // Exhausted: durability is off for the rest of the run
+                    // and the latest cause surfaces as the fatal error.
+                    s.error = s.last_error.clone();
+                } else {
+                    s.retry_at = Some(Instant::now() + write_backoff(s.consecutive_failures));
+                }
+            }
         }
         if let Some((clock, spans)) = &mut s.trace {
             let start = start_us.expect("snapshot taken above when tracing");
@@ -962,6 +1011,74 @@ mod tests {
         let retuned =
             EngineConfig { threads: 7, chunk_size: 1, degree_sched: false, max_retries: 5, ..cfg };
         assert_eq!(c.validate(&g, &plan, &retuned), Ok(()));
+    }
+
+    /// ISSUE satellite: transient write failures back off and retry
+    /// instead of disabling durability for the rest of the run; only
+    /// exhaustion trips the fatal error.
+    #[test]
+    fn sink_retries_transient_write_failures_with_backoff() {
+        let dir = std::env::temp_dir().join(format!("fm-sink-retry-{}", std::process::id()));
+        let path = dir.join("job.ckpt"); // parent does not exist yet
+        let cfg = CheckpointConfig { path, every_tasks: 1, every_wall: None };
+        let sink = CheckpointSink::new(cfg.clone(), sample(), None);
+        let publish = |sink: &CheckpointSink| {
+            sink.publish_task(1, true, &[0], WorkCounters::default(), &[], None)
+        };
+        publish(&sink); // first write fails: parent dir missing
+        {
+            let s = sink.state.lock().unwrap();
+            assert_eq!(s.failed_attempts, 1);
+            assert_eq!(s.consecutive_failures, 1);
+            assert!(s.error.is_none(), "one failure must not be fatal");
+            assert!(s.retry_at.is_some(), "a failure schedules a backoff");
+        }
+        // Inside the backoff window further due publishes do not write.
+        publish(&sink);
+        assert_eq!(sink.state.lock().unwrap().failed_attempts, 1);
+        // Cure the disk, expire the backoff: the next publish recovers.
+        fs::create_dir_all(&dir).unwrap();
+        sink.state.lock().unwrap().retry_at = Some(Instant::now() - Duration::from_millis(1));
+        publish(&sink);
+        {
+            let s = sink.state.lock().unwrap();
+            assert_eq!(s.consecutive_failures, 0, "success resets the streak");
+            assert!(s.retry_at.is_none());
+        }
+        let (err, failures) = sink.finish();
+        assert_eq!(err, None);
+        assert_eq!(failures, 1);
+        assert!(Checkpoint::load(&cfg.path).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sink_write_failures_exhaust_to_fatal_after_max_attempts() {
+        let dir = std::env::temp_dir().join(format!("fm-sink-fatal-{}", std::process::id()));
+        // Never created: every attempt fails.
+        let cfg = CheckpointConfig { path: dir.join("job.ckpt"), every_tasks: 1, every_wall: None };
+        let sink = CheckpointSink::new(cfg, sample(), None);
+        for _ in 0..MAX_WRITE_ATTEMPTS {
+            // Expire the pacing so each publish is a real attempt.
+            sink.state.lock().unwrap().retry_at = None;
+            sink.publish_task(1, true, &[0], WorkCounters::default(), &[], None);
+        }
+        let (err, failures) = sink.finish();
+        assert_eq!(failures, MAX_WRITE_ATTEMPTS);
+        assert!(err.is_some(), "exhausted retries surface the fatal error");
+        // Once fatal, publishes stop attempting writes entirely.
+        sink.publish_task(2, true, &[0], WorkCounters::default(), &[], None);
+        assert_eq!(sink.finish().1, MAX_WRITE_ATTEMPTS);
+    }
+
+    #[test]
+    fn write_backoff_schedule_is_capped_exponential() {
+        assert_eq!(write_backoff(1), Duration::from_millis(50));
+        assert_eq!(write_backoff(2), Duration::from_millis(100));
+        assert_eq!(write_backoff(3), Duration::from_millis(200));
+        assert_eq!(write_backoff(6), Duration::from_millis(1600));
+        assert_eq!(write_backoff(7), Duration::from_secs(2));
+        assert_eq!(write_backoff(1000), Duration::from_secs(2));
     }
 
     #[test]

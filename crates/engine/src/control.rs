@@ -162,6 +162,10 @@ struct Progress {
     cadence: ProgressCadence,
     /// Microseconds (since `started`) of the last emitted report.
     last_emit_us: AtomicU64,
+    /// Reports skipped because another worker held the emitter lock.
+    /// Surfaced as `fm_progress_dropped` so gaps in the heartbeat JSONL
+    /// are diagnosable instead of silent.
+    dropped: AtomicU64,
     emitter: Mutex<Emitter>,
 }
 
@@ -187,6 +191,7 @@ impl Progress {
             started: Instant::now(),
             cadence: opts.cadence,
             last_emit_us: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             emitter: Mutex::new(Emitter { heartbeat }),
         }
     }
@@ -210,9 +215,11 @@ impl Progress {
     }
 
     /// Emits one report if the emitter lock is free; otherwise another
-    /// worker is mid-report and this occurrence is dropped.
+    /// worker is mid-report and this occurrence is dropped — and counted,
+    /// so the skip is observable after the run.
     fn emit(&self, iters: u64, stragglers: Option<u64>, status: Option<&'static str>) {
         let Ok(mut em) = self.emitter.try_lock() else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         };
         let elapsed_us = self.started.elapsed().as_micros() as u64;
@@ -268,6 +275,12 @@ impl<'t> Monitor<'t> {
         if let Some(p) = &self.progress {
             p.emit(self.spent_iters.load(Ordering::Relaxed), Some(stragglers), Some(status));
         }
+    }
+
+    /// How many progress reports were skipped on emitter-lock contention
+    /// (0 when progress is off). Read after the workers have joined.
+    pub(crate) fn progress_dropped(&self) -> u64 {
+        self.progress.as_ref().map_or(0, |p| p.dropped.load(Ordering::Relaxed))
     }
 
     /// Turns on per-task elapsed-time tracking (before the monitor is
@@ -391,6 +404,21 @@ mod tests {
         assert_eq!(p.total, 4);
         assert_eq!(p.done.load(Ordering::Relaxed), 2);
         assert_eq!(p.quarantined.load(Ordering::Relaxed), 1);
+    }
+
+    /// ISSUE satellite: a contended emitter no longer drops reports
+    /// silently — each skip is counted and surfaced after the run.
+    #[test]
+    fn contended_progress_emits_are_counted_not_silent() {
+        let mut m = Monitor::new(None, Budget::unlimited());
+        m.enable_progress(4, &ProgressOptions::every_tasks(1 << 30));
+        let p = m.progress.as_ref().expect("progress enabled");
+        // Holding the emitter lock makes every emit contend, exactly as a
+        // concurrent worker mid-report would.
+        let _held = p.emitter.lock().expect("emitter lock");
+        p.emit(0, None, None);
+        p.emit(0, None, None);
+        assert_eq!(m.progress_dropped(), 2);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod parallel;
 pub mod result;
 pub mod setops;
 pub mod simd;
+pub mod stream;
 pub mod telemetry;
 
 /// Reports a named failpoint hit in instrumented builds (`cfg(test)` or
@@ -76,6 +77,7 @@ pub use parallel::{
     mine_resumed, mine_with_cancel, mine_with_recovery, Recovery,
 };
 pub use result::{Fault, MiningResult, RunStatus, Straggler, WorkCounters};
+pub use stream::{JobCore, Stint, TaskCursor};
 pub use telemetry::{ProgressOptions, TelemetryOptions};
 
 /// Configuration of the software mining engines.

@@ -21,13 +21,13 @@ use crate::checkpoint::{
 use crate::control::{CancelToken, Monitor, StopKind};
 use crate::executor::{payload_string, prepare, Executor, PreparedGraph};
 use crate::result::{detect_stragglers, Fault, MiningResult, RunStatus, WorkCounters};
+use crate::stream::TaskCursor;
 use crate::telemetry::TelemetryOptions;
 use crate::EngineConfig;
 use fm_graph::{CsrGraph, VertexId};
 use fm_plan::ExecutionPlan;
 use fm_telemetry::Span;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Mines `plan` over `graph` with the configured number of worker threads,
@@ -301,9 +301,7 @@ fn run_with_control(
             pending.sort_by_key(|&v| std::cmp::Reverse(g.degree(VertexId(v))));
         }
         let pending = pending;
-        let todo = pending.len();
-        let cursor = AtomicUsize::new(0);
-        let chunk = cfg.chunk_size.max(1);
+        let cursor = TaskCursor::new(pending.len(), cfg.chunk_size);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..cfg.threads)
                 .map(|w| {
@@ -324,31 +322,8 @@ fn run_with_control(
                         let mut times = monitor.timing_enabled().then(Vec::new);
                         let mut stop = None;
                         while stop.is_none() {
-                            // Claim the next chunk with a check-then-advance
-                            // CAS loop rather than an unconditional fetch_add:
-                            // once the cursor reaches the end, workers exit
-                            // without pushing it further, so a drained job
-                            // leaves the cursor at a deterministic value
-                            // instead of overshooting by up to
-                            // `threads * chunk`.
-                            let lo = loop {
-                                let cur = cursor.load(Ordering::Relaxed);
-                                if cur >= todo {
-                                    break None;
-                                }
-                                match cursor.compare_exchange_weak(
-                                    cur,
-                                    cur + chunk,
-                                    Ordering::Relaxed,
-                                    Ordering::Relaxed,
-                                ) {
-                                    Ok(_) => break Some(cur),
-                                    Err(_) => continue,
-                                }
-                            };
-                            let Some(lo) = lo else { break };
-                            let hi = (lo + chunk).min(todo);
-                            let vids = pending[lo..hi].iter().map(|&v| VertexId(v));
+                            let Some(range) = cursor.claim() else { break };
+                            let vids = pending[range].iter().map(|&v| VertexId(v));
                             stop = drive(&mut ex, monitor, vids, sink, times.as_mut());
                         }
                         if let Some(times) = times {
@@ -387,7 +362,9 @@ fn run_with_control(
     let mut times = monitor.take_times();
     total.stragglers = detect_stragglers(&mut times, cfg.straggler_ratio, cfg.straggler_min_task);
     if let Some(sink) = sink {
-        if let Some(err) = sink.finish() {
+        let (err, failures) = sink.finish();
+        total.checkpoint_failures += failures;
+        if let Some(err) = err {
             total.checkpoint_error.get_or_insert(err);
         }
     }
@@ -400,8 +377,15 @@ fn run_with_control(
         driver_spans.push(Span::close(&clock, "mine", "engine", start, 0, None));
         total.telemetry.get_or_insert_with(Default::default).absorb_spans(driver_spans, 0);
     }
-    let total = finalize(total);
+    let mut total = finalize(total);
     monitor.finish_progress(total.stragglers.len() as u64, total.status.as_str());
+    // Progress reports skipped on emitter contention ride back on the
+    // telemetry shard; runs without progress (dropped == 0) attach nothing,
+    // keeping telemetry-off results bit-identical.
+    let dropped = monitor.progress_dropped();
+    if dropped > 0 {
+        total.telemetry.get_or_insert_with(Default::default).progress_dropped += dropped;
+    }
     total
 }
 

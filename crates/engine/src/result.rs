@@ -270,10 +270,18 @@ pub struct MiningResult {
     /// for load-imbalance / future work-splitting; see [`Straggler`]).
     /// Slowest first, at most [`MAX_STRAGGLERS`] entries.
     pub stragglers: Vec<Straggler>,
-    /// Last periodic-checkpoint write failure, if any. The run itself is
-    /// unaffected (mining never stops because durability did), but a
+    /// First *fatal* periodic-checkpoint write failure, if any: the sink
+    /// retries transient write errors with capped backoff and only gives
+    /// up (surfacing here) after exhausting its attempts. The run itself
+    /// is unaffected (mining never stops because durability did), but a
     /// resume may replay more work than the interval promised.
     pub checkpoint_error: Option<String>,
+    /// Total failed checkpoint-write attempts, including transient
+    /// failures that a later retry recovered from. Merging sums this, so
+    /// the count survives even when only the first error *message* is
+    /// kept — a non-zero count with `checkpoint_error == None` means
+    /// durability degraded transiently but recovered.
+    pub checkpoint_failures: u64,
     /// Merged telemetry (depth-resolved metrics, histograms, spans) when
     /// the run was observed via
     /// [`TelemetryOptions`](crate::TelemetryOptions); `None` — costing one
@@ -319,6 +327,10 @@ impl MiningResult {
         self.quarantined.extend_from_slice(&other.quarantined);
         self.quarantined.sort_unstable_by_key(|f| (f.vid, f.attempt));
         self.stragglers.extend_from_slice(&other.stragglers);
+        // Keep the first error message, but never lose the *count*: every
+        // shard's failed attempts accumulate, so a merged result with one
+        // message still reports how many writes failed in total.
+        self.checkpoint_failures += other.checkpoint_failures;
         if self.checkpoint_error.is_none() {
             self.checkpoint_error = other.checkpoint_error.clone();
         }
@@ -513,6 +525,31 @@ mod tests {
         let mut with = MiningResult { telemetry: Some(shard), ..MiningResult::empty(1) };
         with.merge(&MiningResult::empty(1));
         assert!(with.telemetry.is_some());
+    }
+
+    /// ISSUE satellite: merging used to keep only the first
+    /// `checkpoint_error` with no trace that later shards also failed;
+    /// the failure count now aggregates alongside the first message.
+    #[test]
+    fn merge_aggregates_checkpoint_failures_with_first_message() {
+        let mut a = MiningResult {
+            checkpoint_error: Some("disk full".into()),
+            checkpoint_failures: 3,
+            ..MiningResult::empty(1)
+        };
+        let b = MiningResult {
+            checkpoint_error: Some("permission denied".into()),
+            checkpoint_failures: 2,
+            ..MiningResult::empty(1)
+        };
+        a.merge(&b);
+        assert_eq!(a.checkpoint_error.as_deref(), Some("disk full"));
+        assert_eq!(a.checkpoint_failures, 5);
+        // Transient-only shards (count without a message) still surface.
+        let mut c = MiningResult::empty(1);
+        c.merge(&MiningResult { checkpoint_failures: 4, ..MiningResult::empty(1) });
+        assert_eq!(c.checkpoint_failures, 4);
+        assert!(c.checkpoint_error.is_none());
     }
 
     #[test]

@@ -6,11 +6,11 @@
 
 use fm_engine::executor::prepare_graph;
 use fm_engine::failpoint::{self, Trigger};
-use fm_engine::{mine, EngineConfig, Executor, MiningResult, RunStatus};
+use fm_engine::{mine, EngineConfig, Executor, JobCore, MiningResult, RunStatus, Stint};
 use fm_graph::{generators, CsrGraph, VertexId};
 use fm_pattern::Pattern;
 use fm_plan::{compile, CompileOptions, ExecutionPlan};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The failpoint registry is process-global, so tests that arm executor
 /// sites serialize through this lock to avoid poisoning each other's runs.
@@ -108,6 +108,43 @@ fn nth_hit_trigger_poisons_exactly_one_task_per_run() {
     // Single-threaded ascending schedule: the 10th task is vid 9.
     assert_eq!(r.faults[0].vid, 9);
     assert_eq!(r.counts, counts_without(&g, &plan, &cfg, 9));
+}
+
+/// ISSUE: a job core whose quarantined vertices are re-queued between
+/// supervisor attempts heals completely once the (transient) fault clears,
+/// with counts and work bit-identical to an unfaulted run.
+#[test]
+fn job_core_reattempts_quarantine_and_heals_bit_identically() {
+    let _l = lock();
+    let g = Arc::new(generators::powerlaw_cluster(150, 4, 0.5, 29));
+    let plan = Arc::new(compile(&Pattern::cycle(4), CompileOptions::default()));
+    let reference = mine(&g, &plan, &EngineConfig::default());
+    let core = JobCore::new(Arc::clone(&g), Arc::clone(&plan), EngineConfig::default());
+    let drain = |core: &JobCore| loop {
+        match core.run_stint(9) {
+            Stint::Ran { drained: true, .. } => break,
+            Stint::Ran { .. } => continue,
+            other => panic!("unexpected stint outcome {other:?}"),
+        }
+    };
+    {
+        let _fp =
+            failpoint::guard("start_vertex", Trigger::OnContext(3), "injected transient fault");
+        drain(&core);
+        let r = core.result();
+        assert_eq!(r.status, RunStatus::Degraded);
+        assert_eq!(r.quarantined.len(), 1);
+        assert_eq!(r.quarantined[0].vid, 3);
+    }
+    // Fault cleared (guard dropped): one backoff-spaced reattempt heals.
+    assert_eq!(core.reattempt_quarantined(), 1);
+    drain(&core);
+    let healed = core.result();
+    assert_eq!(healed.status, RunStatus::Complete);
+    assert_eq!(healed.counts, reference.counts);
+    assert_eq!(healed.work, reference.work);
+    // The failed attempt stays on the fault history.
+    assert_eq!(healed.faults.len(), 1);
 }
 
 #[test]

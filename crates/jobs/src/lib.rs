@@ -1,0 +1,33 @@
+//! # fm-jobs — preemptible multi-job supervision
+//!
+//! The engine's [`fm_engine::JobCore`] turns one mining run into a
+//! preemptible stream of start-vertex stints; this crate schedules many
+//! such cores over one worker pool:
+//!
+//! - **Admission control** ([`Supervisor::submit`]): a bounded job table
+//!   and a resident-graph memory budget; saturation sheds with an
+//!   explicit [`JobOutcome::Rejected`] instead of unbounded queueing.
+//! - **Priority preemption**: a strictly higher-priority arrival pauses
+//!   the lowest-priority running job into an in-memory checkpoint; the
+//!   victim later resumes bit-identically.
+//! - **Backoff retry** ([`BackoffPolicy`]): degraded jobs re-queue their
+//!   quarantined tasks under capped exponential backoff with
+//!   deterministic (FNV-seeded) jitter.
+//! - **Graceful drain** ([`Supervisor::shutdown`]): SIGTERM (see
+//!   [`signal`]) or a protocol `shutdown` pauses every job at a stint
+//!   boundary and spools durable checkpoints, so a restarted process
+//!   resumes every job bit-for-bit.
+//!
+//! The [`jsonl`] module carries the dependency-free wire codec used by
+//! `flexminer serve`. Everything here is plain `std` plus the workspace
+//! crates — no external dependencies.
+
+mod backoff;
+pub mod jsonl;
+pub mod signal;
+mod supervisor;
+
+pub use backoff::BackoffPolicy;
+pub use supervisor::{
+    DrainedJob, JobHandle, JobOutcome, JobSpec, Supervisor, SupervisorConfig, SupervisorStats,
+};

@@ -1,0 +1,72 @@
+//! Minimal SIGTERM/SIGINT latch without a libc dependency.
+//!
+//! `flexminer serve` drains to durable checkpoints on termination; all the
+//! handler does is flip a process-global atomic that the serve loop polls
+//! between protocol frames (an atomic store is async-signal-safe). On
+//! non-unix targets installation is a no-op and the latch never fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // POSIX `signal(2)`; the handler type matches `sighandler_t` for
+        // the C ABI on all unix targets we build for.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        // SAFETY: registers an async-signal-safe handler (single atomic
+        // store, no allocation, no locks) for signals this process owns.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the termination latch for SIGTERM and SIGINT. Idempotent.
+pub fn install_termination_latch() {
+    imp::install();
+}
+
+/// True once a termination signal has been delivered (sticky).
+pub fn termination_requested() -> bool {
+    TERMINATED.load(Ordering::SeqCst)
+}
+
+/// Arm the latch manually — used by tests and by serve's `shutdown` op so
+/// signal delivery and protocol-initiated shutdown share one code path.
+pub fn request_termination() {
+    TERMINATED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_is_sticky_and_installable() {
+        install_termination_latch();
+        install_termination_latch(); // idempotent
+        request_termination();
+        assert!(termination_requested());
+        assert!(termination_requested());
+    }
+}

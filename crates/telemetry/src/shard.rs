@@ -43,6 +43,10 @@ pub struct TelemetryShard {
     pub spans: Vec<Span>,
     /// Spans dropped by full rings.
     pub dropped_spans: u64,
+    /// Progress/heartbeat reports skipped because the emitter lock was
+    /// contended at report time (each skip is one missing line in the
+    /// heartbeat JSONL, so a non-zero value explains gaps there).
+    pub progress_dropped: u64,
 }
 
 fn add_resized(into: &mut Vec<u64>, from: &[u64]) {
@@ -100,6 +104,7 @@ impl TelemetryShard {
         self.spans.extend(other.spans.iter().copied());
         self.spans.sort_unstable();
         self.dropped_spans += other.dropped_spans;
+        self.progress_dropped += other.progress_dropped;
     }
 
     /// The deepest depth with any charged set-op work, plus one.
