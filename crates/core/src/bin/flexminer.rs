@@ -183,7 +183,7 @@ commands:
         [--induced] [--threads N] [--no-symmetry]
         [--timeout SECS] [--budget SETOP_ITERS]
         [--no-hub-bitmap] [--hub-threshold DEGREE] [--hub-budget BYTES]
-        [--no-simd]
+        [--no-simd] [--no-reuse] [--reuse-budget BYTES]
         [--checkpoint PATH] [--checkpoint-interval N|SECSs] [--resume PATH]
         [--max-retries K]
         [--metrics-out PATH] [--trace-out PATH] [--progress N|Ns]
@@ -238,7 +238,10 @@ telemetry (off by default; defaults stay bit-identical):
 
 serve protocol (JSONL, one object per line, over stdio or --socket):
   {{\"op\":\"submit\",\"pattern\":P,\"graph\":G[,\"name\":S,\"induced\":B,
-   \"threads\":N,\"priority\":N,\"max_attempts\":K]}}   admit a job
+   \"threads\":N,\"priority\":N,\"max_attempts\":K,
+   \"budget\":SETOP_ITERS,\"deadline\":SECS]}}          admit a job
+   (per-job budget/deadline stop with exit codes 4/3 and exact partial
+   counts; both survive a drain, the deadline re-anchors at resume)
   {{\"op\":\"wait\",\"id\":N}}    block until the job's terminal outcome
   {{\"op\":\"status\"}}          supervisor gauges   {{\"op\":\"cancel\",\"id\":N}}
   {{\"op\":\"metrics\"[,\"format\":\"prometheus\"]}}    exporter document
@@ -304,6 +307,12 @@ fn cmd_count(args: &[String], _induced_default: bool) -> CliResult {
     }
     if has_flag(args, "--no-simd") {
         cfg.simd = false;
+    }
+    if has_flag(args, "--no-reuse") {
+        cfg.reuse = false;
+    }
+    if let Some(v) = flag_value(args, "--reuse-budget") {
+        cfg.reuse_memory_budget = v.parse().map_err(|e| format!("bad --reuse-budget: {e}"))?;
     }
     if let Some(v) = flag_value(args, "--hub-threshold") {
         cfg.hub_degree_threshold = v.parse().map_err(|e| format!("bad --hub-threshold: {e}"))?;

@@ -7,12 +7,21 @@
 //!
 //! | op         | fields                                                      | response |
 //! |------------|-------------------------------------------------------------|----------|
-//! | `submit`   | `pattern`, `graph`, `name?`, `induced?`, `threads?`, `priority?`, `max_attempts?` | `{"ok":true,"id":N}` or the admission rejection |
+//! | `submit`   | `pattern`, `graph`, `name?`, `induced?`, `threads?`, `priority?`, `max_attempts?`, `budget?`, `deadline?` | `{"ok":true,"id":N}` or the admission rejection |
 //! | `wait`     | `id`                                                        | the job's terminal outcome |
 //! | `status`   |                                                             | supervisor gauges |
 //! | `metrics`  | `format?` (`prometheus` or `json`)                          | `{"ok":true,"body":...}` |
 //! | `cancel`   | `id`                                                        | `{"ok":bool}` |
 //! | `shutdown` |                                                             | `{"ok":true}`, then the process drains |
+//!
+//! `budget` caps the job's set-op iterations and `deadline` gives it a
+//! wall-clock allowance in (fractional) seconds; either stop surfaces as
+//! an exact partial result with the `count` command's exit-code semantics
+//! (4 budget exhausted, 3 deadline exceeded) on the `wait` response and
+//! summary line. Both survive a drain in the resume manifest; the
+//! deadline is re-anchored when the restarted process resubmits the job
+//! (the allowance is per attempt — wall time the old process spent does
+//! not count against the new one).
 //!
 //! On SIGTERM/SIGINT (or the `shutdown` op — both arm the same
 //! [`fm_jobs::signal`] latch) the supervisor drains every unfinished job
@@ -34,7 +43,7 @@ use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How `flexminer serve` runs: transport, durability spool, and the
 /// supervisor's admission limits.
@@ -83,6 +92,11 @@ struct JobMeta {
     threads: usize,
     priority: i32,
     max_attempts: Option<u32>,
+    /// Set-op iteration cap, if the submit carried one.
+    budget: Option<u64>,
+    /// Wall-clock allowance in seconds. The absolute deadline is anchored
+    /// at submit time, so this original span is what a resume replays.
+    deadline_secs: Option<f64>,
     plan: Arc<ExecutionPlan>,
 }
 
@@ -147,6 +161,13 @@ impl ServeState {
             req.get("threads").and_then(Json::as_u64).unwrap_or(1).clamp(1, 1 << 16) as usize;
         let priority = req.get("priority").and_then(Json::as_i64).unwrap_or(0) as i32;
         let max_attempts = req.get("max_attempts").and_then(Json::as_u64).map(|v| v as u32);
+        let budget = req.get("budget").and_then(Json::as_u64);
+        let deadline_secs = req.get("deadline").and_then(Json::as_f64);
+        if let Some(s) = deadline_secs {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(format!("deadline must be a positive number of seconds, got {s}"));
+            }
+        }
         let pattern: Pattern =
             pattern_spec.parse().map_err(|e| format!("bad pattern {pattern_spec:?}: {e}"))?;
         let plan = Arc::new(compile(&pattern, CompileOptions { induced, ..Default::default() }));
@@ -164,14 +185,24 @@ impl ServeState {
             threads,
             priority,
             max_attempts,
+            budget,
+            deadline_secs,
             plan: Arc::clone(&plan),
         };
+        let mut engine_cfg = EngineConfig::with_threads(threads);
+        engine_cfg.budget.max_setop_iterations = budget;
+        // The deadline anchors here, at admission — like `count`'s
+        // `--timeout` anchoring after graph load — so queue wait counts
+        // against it but a drained job resubmitted from the manifest gets
+        // its full allowance back.
+        engine_cfg.budget.deadline =
+            deadline_secs.and_then(|s| Instant::now().checked_add(Duration::from_secs_f64(s)));
         let spec = JobSpec {
             priority,
             graph_key: graphspec::fingerprint(graph_spec),
             max_attempts,
             resume,
-            ..JobSpec::new(name, graph, plan, EngineConfig::with_threads(threads))
+            ..JobSpec::new(name, graph, plan, engine_cfg)
         };
         let handle = self.sup.submit(spec);
         self.submitted_any.store(true, Ordering::SeqCst);
@@ -312,6 +343,12 @@ impl ServeState {
                     .str("checkpoint", &ckpt.display().to_string());
                 if let Some(a) = t.meta.max_attempts {
                     w = w.u64("max_attempts", a as u64);
+                }
+                if let Some(b) = t.meta.budget {
+                    w = w.u64("budget", b);
+                }
+                if let Some(s) = t.meta.deadline_secs {
+                    w = w.raw("deadline", &format!("{s}"));
                 }
                 manifest.push_str(&w.finish());
                 manifest.push('\n');
@@ -600,6 +637,60 @@ mod tests {
         assert_eq!(v.get("outcome").and_then(Json::as_str), Some("rejected"), "{resp}");
         assert_eq!(v.get("exit_code").and_then(Json::as_i64), Some(8), "{resp}");
         assert!(resp.contains("memory budget"), "{resp}");
+        st.sup.shutdown(None);
+    }
+
+    #[test]
+    fn submit_budget_and_deadline_reach_the_job_and_the_manifest_shape() {
+        let st = state(ServeConfig::default());
+        // A one-iteration budget on a non-trivial graph must stop early
+        // with the `count` command's exit code 4 and an exact partial.
+        let resp = st.handle_line(
+            r#"{"op":"submit","name":"capped","pattern":"4-cycle","graph":"gen:powerlaw,n=400,m=4,closure=0.5,seed=5","budget":1,"deadline":3600}"#,
+        );
+        let v = jsonl::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        let id = v.get("id").and_then(Json::as_u64).unwrap();
+        {
+            let jobs = st.jobs.lock().unwrap();
+            assert_eq!(jobs[0].meta.budget, Some(1));
+            assert_eq!(jobs[0].meta.deadline_secs, Some(3600.0));
+        }
+        let done = st.handle_line(&format!(r#"{{"op":"wait","id":{id}}}"#));
+        let d = jsonl::parse(&done).unwrap();
+        assert_eq!(d.get("status").and_then(Json::as_str), Some("BudgetExhausted"), "{done}");
+        assert_eq!(d.get("exit_code").and_then(Json::as_i64), Some(4), "{done}");
+
+        // The manifest line a drain would write for this job round-trips
+        // through the submit parser with both knobs intact — this is the
+        // resume path (`resume_manifest` replays these lines verbatim).
+        let manifest_line = ObjWriter::new()
+            .str("op", "submit")
+            .str("name", "capped")
+            .str("pattern", "4-cycle")
+            .str("graph", "gen:complete,n=6")
+            .u64("budget", 1)
+            .raw("deadline", &format!("{}", 3600.0))
+            .finish();
+        st.handle_line(&manifest_line);
+        let jobs = st.jobs.lock().unwrap();
+        assert_eq!(jobs[1].meta.budget, Some(1));
+        assert_eq!(jobs[1].meta.deadline_secs, Some(3600.0));
+        drop(jobs);
+        st.sup.shutdown(None);
+    }
+
+    #[test]
+    fn non_positive_deadlines_are_rejected_at_submit() {
+        let st = state(ServeConfig::default());
+        for bad in ["0", "-2.5"] {
+            let resp = st.handle_line(&format!(
+                r#"{{"op":"submit","pattern":"triangle","graph":"gen:complete,n=4","deadline":{bad}}}"#,
+            ));
+            let v = jsonl::parse(&resp).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{resp}");
+            assert!(resp.contains("deadline must be a positive number"), "{resp}");
+        }
         st.sup.shutdown(None);
     }
 

@@ -82,6 +82,54 @@ fn stdio_submit_wait_and_eof_exit() {
     assert!(event.contains("\"name\":\"tri\"") && event.contains("\"exit_code\":0"), "{out}");
 }
 
+/// Per-job budget semantics end to end: a submit carrying a one-iteration
+/// `budget` stops early with `BudgetExhausted` and the `count` command's
+/// exit code 4 on both the wait response and the summary line, while an
+/// uncapped submit of the same job still completes — the cap is per job,
+/// not per server.
+#[test]
+fn stdio_submit_budget_reports_exit_code_4() {
+    const GRAPH: &str = "gen:powerlaw,n=800,m=4,closure=0.5,seed=9";
+    let mut child = bin()
+        .args(["serve"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(
+        stdin,
+        "{{\"op\":\"submit\",\"name\":\"capped\",\"pattern\":\"4-cycle\",\"graph\":\"{GRAPH}\",\"budget\":1}}"
+    )
+    .unwrap();
+    writeln!(
+        stdin,
+        "{{\"op\":\"submit\",\"name\":\"free\",\"pattern\":\"4-cycle\",\"graph\":\"{GRAPH}\"}}"
+    )
+    .unwrap();
+    writeln!(stdin, "{{\"op\":\"wait\",\"id\":1}}").unwrap();
+    writeln!(stdin, "{{\"op\":\"wait\",\"id\":2}}").unwrap();
+    drop(stdin);
+    let (code, out) = wait_exit(child, 120);
+    // The process exit code stays 0 — per-job stops are job outcomes, not
+    // server failures.
+    assert_eq!(code, 0, "stdout: {out}");
+    let lines: Vec<&str> = out.lines().collect();
+    let capped_wait = lines[3];
+    assert!(capped_wait.contains("\"status\":\"BudgetExhausted\""), "{out}");
+    assert!(capped_wait.contains("\"exit_code\":4"), "{out}");
+    assert!(capped_wait.contains("\"counts\":["), "partial counts must still report: {out}");
+    let free_wait = lines[4];
+    assert!(free_wait.contains("\"status\":\"Complete\""), "{out}");
+    assert!(free_wait.contains("\"exit_code\":0"), "{out}");
+    let capped_event = lines
+        .iter()
+        .find(|l| l.contains("\"event\":\"job\"") && l.contains("\"name\":\"capped\""))
+        .expect("summary line for the capped job");
+    assert!(capped_event.contains("\"exit_code\":4"), "{out}");
+}
+
 fn connect(path: &Path, secs: u64) -> UnixStream {
     let deadline = Instant::now() + Duration::from_secs(secs);
     loop {

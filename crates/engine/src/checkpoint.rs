@@ -58,7 +58,7 @@ const CKPT_MAGIC: &[u8; 8] = b"FMCKPT\x01\x00";
 /// Current format version. Bump on any layout change; old readers reject
 /// newer files with [`CheckpointError::UnsupportedVersion`] instead of
 /// misparsing them.
-const CKPT_VERSION: u32 = 2;
+const CKPT_VERSION: u32 = 3;
 
 /// Elements preallocated up front when reading untrusted length headers
 /// (same discipline as `fm_graph::io`): larger lists grow on demand as
@@ -212,6 +212,13 @@ pub fn config_fingerprint(cfg: &EngineConfig) -> u64 {
         h.u64(cfg.hub_memory_budget as u64);
     }
     h.u64(u64::from(cfg.simd_active()));
+    h.u64(u64::from(cfg.reuse_active()));
+    if cfg.reuse_active() {
+        // The byte budget steers which prefixes are cached and therefore
+        // the reuse/fallback dispatch split, `reuse_bytes_hwm`, and the
+        // miss counters — a resume must not change it.
+        h.u64(cfg.reuse_memory_budget as u64);
+    }
     h.finish()
 }
 
@@ -561,7 +568,7 @@ impl Checkpoint {
 
 /// The `WorkCounters` fields in their persisted order. New counters append
 /// (with a version bump); the count is pinned by `decode`.
-fn work_words(w: &WorkCounters) -> [u64; 13] {
+fn work_words(w: &WorkCounters) -> [u64; 17] {
     [
         w.setop_iterations,
         w.setop_invocations,
@@ -576,10 +583,14 @@ fn work_words(w: &WorkCounters) -> [u64; 13] {
         w.gallop_dispatches,
         w.probe_dispatches,
         w.simd_dispatches,
+        w.reuse_hits,
+        w.reuse_misses,
+        w.reuse_bytes_hwm,
+        w.prefix_builds,
     ]
 }
 
-fn work_words_mut(w: &mut WorkCounters) -> [&mut u64; 13] {
+fn work_words_mut(w: &mut WorkCounters) -> [&mut u64; 17] {
     [
         &mut w.setop_iterations,
         &mut w.setop_invocations,
@@ -594,6 +605,10 @@ fn work_words_mut(w: &mut WorkCounters) -> [&mut u64; 13] {
         &mut w.gallop_dispatches,
         &mut w.probe_dispatches,
         &mut w.simd_dispatches,
+        &mut w.reuse_hits,
+        &mut w.reuse_misses,
+        &mut w.reuse_bytes_hwm,
+        &mut w.prefix_builds,
     ]
 }
 

@@ -12,16 +12,18 @@ use std::time::Duration;
 ///
 /// # Dispatch-tier invariant
 ///
-/// The four dispatch counters — [`merge_dispatches`], [`gallop_dispatches`],
-/// [`probe_dispatches`], and [`simd_dispatches`] — are charged *only* by
-/// the adaptive dispatchers in [`setops`](crate::setops), exactly one per
-/// dispatcher call, and every dispatcher call runs exactly one kernel
-/// (which charges [`setop_invocations`] exactly once). So for any span of
-/// work routed through the dispatchers:
+/// The five dispatch counters — [`merge_dispatches`], [`gallop_dispatches`],
+/// [`probe_dispatches`], [`simd_dispatches`], and [`reuse_hits`] — are
+/// charged *only* by the adaptive dispatchers in [`setops`](crate::setops)
+/// (or, for `reuse_hits`, by the executor's reuse-slot probe, which stands
+/// in for exactly one dispatcher call), exactly one per dispatched op, and
+/// every dispatched op runs exactly one kernel (which charges
+/// [`setop_invocations`] exactly once). So for any span of work routed
+/// through the dispatchers:
 ///
 /// ```text
-/// merge_dispatches + gallop_dispatches + probe_dispatches + simd_dispatches
-///     == setop_invocations
+/// merge_dispatches + gallop_dispatches + probe_dispatches
+///     + simd_dispatches + reuse_hits == setop_invocations
 /// ```
 ///
 /// This holds globally for the default (adaptive) plan-driven executor,
@@ -32,10 +34,20 @@ use std::time::Duration;
 /// invariant is debug-asserted inside each dispatcher and pinned by a unit
 /// test in `setops`.
 ///
+/// [`reuse_misses`], [`prefix_builds`], and [`reuse_bytes_hwm`] sit
+/// *outside* the partition: a miss falls through to a regular dispatcher
+/// (which charges its own tier), a prefix build runs its set ops through
+/// the regular dispatchers too (charging normally), and the high-water
+/// mark is a byte gauge, not an op count.
+///
 /// [`merge_dispatches`]: WorkCounters::merge_dispatches
 /// [`gallop_dispatches`]: WorkCounters::gallop_dispatches
 /// [`probe_dispatches`]: WorkCounters::probe_dispatches
 /// [`simd_dispatches`]: WorkCounters::simd_dispatches
+/// [`reuse_hits`]: WorkCounters::reuse_hits
+/// [`reuse_misses`]: WorkCounters::reuse_misses
+/// [`prefix_builds`]: WorkCounters::prefix_builds
+/// [`reuse_bytes_hwm`]: WorkCounters::reuse_bytes_hwm
 /// [`setop_invocations`]: WorkCounters::setop_invocations
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct WorkCounters {
@@ -76,6 +88,28 @@ pub struct WorkCounters {
     /// `simd_dispatches` under SIMD, with every other counter
     /// bit-identical.
     pub simd_dispatches: u64,
+    /// Candidate-generation ops served from a cached sibling-invariant
+    /// prefix (the fifth dispatch tier; see the dispatch-tier invariant in
+    /// the type docs). Each hit streams the single sibling-varying
+    /// adjacency list against the prefix bitmap instead of re-running the
+    /// full merge/gallop pipeline.
+    pub reuse_hits: u64,
+    /// Reuse-slot probes that could not be served (arena over its byte
+    /// budget, or the prefix below the profitability threshold) and fell
+    /// through to a regular dispatcher. Outside the dispatch partition —
+    /// the fallback tier charges itself.
+    pub reuse_misses: u64,
+    /// High-water mark of `ReuseArena` bytes (element buffers plus bitmap
+    /// words) accounted by any single start-vertex task. Accounting resets
+    /// per task, so each task's peak depends only on its own subtree;
+    /// aggregation takes the max (never the sum) across tasks, workers,
+    /// stints, and checkpoint resumes, making the merged value
+    /// schedule-independent.
+    pub reuse_bytes_hwm: u64,
+    /// Sibling-invariant prefixes materialized into the arena (once per
+    /// parent embedding per consuming op, when profitable and in budget).
+    /// The set ops a build runs charge the ordinary dispatchers/kernels.
+    pub prefix_builds: u64,
 }
 
 impl std::ops::Sub for WorkCounters {
@@ -98,6 +132,14 @@ impl std::ops::Sub for WorkCounters {
             gallop_dispatches: self.gallop_dispatches - o.gallop_dispatches,
             probe_dispatches: self.probe_dispatches - o.probe_dispatches,
             simd_dispatches: self.simd_dispatches - o.simd_dispatches,
+            reuse_hits: self.reuse_hits - o.reuse_hits,
+            reuse_misses: self.reuse_misses - o.reuse_misses,
+            // A gauge, not a flow: the "delta" of a high-water mark over
+            // any span is the mark itself, so that accumulating deltas
+            // (max-merge in `AddAssign`) reconstructs the true global max
+            // — bit-identical across stint slicing and checkpoint resume.
+            reuse_bytes_hwm: self.reuse_bytes_hwm,
+            prefix_builds: self.prefix_builds - o.prefix_builds,
         }
     }
 }
@@ -117,6 +159,13 @@ impl AddAssign for WorkCounters {
         self.gallop_dispatches += o.gallop_dispatches;
         self.probe_dispatches += o.probe_dispatches;
         self.simd_dispatches += o.simd_dispatches;
+        self.reuse_hits += o.reuse_hits;
+        self.reuse_misses += o.reuse_misses;
+        // A high-water mark aggregates by max: each worker owns one arena,
+        // so the merged run's peak is the largest per-worker peak, not the
+        // sum of them.
+        self.reuse_bytes_hwm = self.reuse_bytes_hwm.max(o.reuse_bytes_hwm);
+        self.prefix_builds += o.prefix_builds;
     }
 }
 

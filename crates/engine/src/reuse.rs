@@ -1,0 +1,259 @@
+//! Per-worker cache of sibling-invariant prefix intersections.
+//!
+//! The lowering's reuse pass ([`fm_plan::lowering::Program::prefixes`])
+//! proves, per candidate-generation op, which sub-intersection depends
+//! only on embedding levels *shallower* than the vertex being enumerated
+//! — and is therefore identical across all sibling extensions of the
+//! same parent embedding. The executor materializes each such prefix
+//! once into a [`ReuseArena`] slot (a sorted element list plus a
+//! vertex-id bitmap), and every sibling then streams its single varying
+//! adjacency list through the bitmap
+//! ([`crate::setops::intersect_reuse_into`]) instead of re-deriving the
+//! whole set — the stream-reuse of IntersectX and the pre-shrunk
+//! auxiliary sets of GraphMini, in one mechanism.
+//!
+//! # Lifecycle and accounting
+//!
+//! Slots are keyed by static prefix id and validated by a cheap dynamic
+//! tag ([`SlotTag`]): a frontier-buffer generation for prefixes that
+//! *are* a memoized frontier, or the enter-epoch of the newest embedding
+//! level the prefix reads. A slot goes stale the moment the DFS
+//! re-binds anything it depends on; it is rebuilt lazily at the next
+//! consuming dispatch — if the build passes the profitability floor
+//! ([`REUSE_MIN_PREFIX`]) and fits the byte budget
+//! ([`crate::EngineConfig::reuse_memory_budget`]).
+//!
+//! Byte accounting is **per start-vertex task**: [`ReuseArena::reset_task`]
+//! invalidates every slot and zeroes the gauge, so a task's peak
+//! (`WorkCounters::reuse_bytes_hwm`) depends only on its own subtree and
+//! is identical under any thread count, stint slicing, or resume
+//! schedule. Buffer *capacity* is retained across tasks; only the
+//! accounting resets.
+//!
+//! # Panic safety
+//!
+//! Builds keep the invariant "set bitmap bits ⊆ recorded elements" at
+//! every step (elements are fully recorded before any bit is set), so a
+//! mid-build panic caught by the task isolation boundary leaves a slot
+//! whose stray bits the next [`reset_task`](ReuseArena::reset_task)
+//! clears exactly. Bits are always cleared by unsetting the recorded
+//! elements — never by an O(|V|) memset.
+
+use crate::result::WorkCounters;
+use fm_graph::VertexId;
+
+/// Profitability floor: a prefix whose source operand is shorter than
+/// this is not worth a bitmap build — the per-sibling savings of a probe
+/// over a merge cannot amortize the scatter pass plus the slot's
+/// footprint. Sixteen is the crossover on the bundled power-law inputs;
+/// the dispatch-level size gate (prefix at least as long as the streamed
+/// operand) independently keeps any single probe from charging more
+/// iterations than the merge it replaces.
+pub(crate) const REUSE_MIN_PREFIX: usize = 16;
+
+/// Validity tag of a cached prefix: what the slot's contents were
+/// derived from, compared against the executor's current DFS state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum SlotTag {
+    /// The prefix is the memoized frontier in buffer `.0`, captured at
+    /// materialization generation `.1` (the executor bumps the
+    /// generation every time it rewrites the buffer).
+    Frontier(usize, u64),
+    /// The prefix reads embedding levels up to `newest`, captured at
+    /// enter-epoch `.0` of that level (the executor bumps a level's
+    /// epoch every time the DFS binds a vertex there — any change to a
+    /// shallower level forces a re-entry of `newest` first, so one
+    /// epoch covers them all).
+    Epoch(u64),
+}
+
+/// One cached prefix: its sorted elements (kept to clear the bitmap and
+/// for the dispatch size gate) and its vertex-id bitmap (probed by the
+/// reuse kernels).
+struct ReuseSlot {
+    tag: Option<SlotTag>,
+    elems: Vec<VertexId>,
+    words: Vec<u64>,
+    /// Bytes this slot currently charges against the arena budget.
+    bytes: usize,
+}
+
+/// The per-worker, depth-indexed prefix cache. See the module docs for
+/// lifecycle, budgeting, and panic-safety rules.
+pub(crate) struct ReuseArena {
+    slots: Vec<ReuseSlot>,
+    /// Live bytes across all built slots, this task.
+    accounted: usize,
+    budget: usize,
+    /// Words per slot bitmap: one bit per graph vertex.
+    graph_words: usize,
+}
+
+impl ReuseArena {
+    /// An arena with `prefix_count` slots (one per static `ReusePrefix`),
+    /// budgeted to `budget` bytes, over a graph of `num_vertices`.
+    pub(crate) fn new(prefix_count: usize, budget: usize, num_vertices: usize) -> ReuseArena {
+        ReuseArena {
+            slots: (0..prefix_count)
+                .map(|_| ReuseSlot { tag: None, elems: Vec::new(), words: Vec::new(), bytes: 0 })
+                .collect(),
+            accounted: 0,
+            budget,
+            graph_words: num_vertices.div_ceil(64),
+        }
+    }
+
+    /// Invalidates every slot and zeroes the byte gauge at a task
+    /// boundary (capacity is retained). Also the post-panic cleanup: a
+    /// mid-build slot's stray bits are a subset of its recorded
+    /// elements, so unsetting those restores an all-zero bitmap.
+    pub(crate) fn reset_task(&mut self) {
+        for slot in &mut self.slots {
+            if !slot.words.is_empty() {
+                for &e in &slot.elems {
+                    slot.words[(e.0 as usize) >> 6] &= !(1u64 << (e.0 as usize & 63));
+                }
+            }
+            slot.elems.clear();
+            slot.tag = None;
+            slot.bytes = 0;
+        }
+        self.accounted = 0;
+    }
+
+    /// Whether slot `p` holds a prefix built under exactly `tag`.
+    pub(crate) fn valid(&self, p: usize, tag: SlotTag) -> bool {
+        self.slots[p].tag == Some(tag)
+    }
+
+    /// Element count of slot `p`'s cached prefix (the dispatch size gate
+    /// compares this against the streamed operand).
+    pub(crate) fn len(&self, p: usize) -> usize {
+        self.slots[p].elems.len()
+    }
+
+    /// The sorted elements of slot `p`'s cached prefix (the dispatch
+    /// size gate truncates these at the op's vid bound).
+    pub(crate) fn elems(&self, p: usize) -> &[VertexId] {
+        &self.slots[p].elems
+    }
+
+    /// The probe bitmap of slot `p`.
+    pub(crate) fn words(&self, p: usize) -> &[u64] {
+        &self.slots[p].words
+    }
+
+    /// Starts rebuilding slot `p`: releases its old contents (bits,
+    /// elements, byte charge) and checks `upper_len` — an upper bound on
+    /// the new element count, known before the build — against the
+    /// remaining budget. Returns the slot's element buffer (emptied,
+    /// capacity retained) to build into, or `None` when the build would
+    /// bust the budget; either way the slot is left invalid until
+    /// [`commit`](Self::commit).
+    pub(crate) fn begin_build(&mut self, p: usize, upper_len: usize) -> Option<Vec<VertexId>> {
+        let slot = &mut self.slots[p];
+        self.accounted -= slot.bytes;
+        slot.bytes = 0;
+        slot.tag = None;
+        if !slot.words.is_empty() {
+            for &e in &slot.elems {
+                slot.words[(e.0 as usize) >> 6] &= !(1u64 << (e.0 as usize & 63));
+            }
+        }
+        slot.elems.clear();
+        let need = upper_len * std::mem::size_of::<VertexId>() + self.graph_words * 8;
+        if self.accounted + need > self.budget {
+            return None;
+        }
+        Some(std::mem::take(&mut slot.elems))
+    }
+
+    /// Finishes a build: installs `elems` as slot `p`'s prefix, scatters
+    /// its bits into the bitmap, charges the slot's bytes against the
+    /// budget, and publishes the task-peak gauge and `prefix_builds`
+    /// into `work`. The scatter pass itself charges no `setop_iterations`
+    /// — like the hub-bitmap index build, it is auxiliary-index
+    /// construction, priced by `prefix_builds`/`reuse_bytes_hwm` rather
+    /// than SIU cycles — which keeps the invariant that the optimized
+    /// engine never charges more set-op iterations than the faithful
+    /// one (any *set operation* run to fill a slot still charges
+    /// normally through the dispatchers).
+    pub(crate) fn commit(
+        &mut self,
+        p: usize,
+        elems: Vec<VertexId>,
+        tag: SlotTag,
+        work: &mut WorkCounters,
+    ) {
+        let slot = &mut self.slots[p];
+        slot.elems = elems;
+        if slot.words.len() < self.graph_words {
+            slot.words.resize(self.graph_words, 0);
+        }
+        for &e in &slot.elems {
+            slot.words[(e.0 as usize) >> 6] |= 1u64 << (e.0 as usize & 63);
+        }
+        slot.bytes = slot.elems.len() * std::mem::size_of::<VertexId>() + self.graph_words * 8;
+        slot.tag = Some(tag);
+        self.accounted += slot.bytes;
+        work.prefix_builds += 1;
+        work.reuse_bytes_hwm = work.reuse_bytes_hwm.max(self.accounted as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vids(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn build_probe_and_reset_roundtrip() {
+        let mut arena = ReuseArena::new(2, 1 << 20, 200);
+        let mut work = WorkCounters::default();
+        let tag = SlotTag::Frontier(1, 7);
+        assert!(!arena.valid(0, tag));
+        let mut elems = arena.begin_build(0, 3).expect("fits the budget");
+        elems.extend_from_slice(&vids(&[3, 64, 130]));
+        arena.commit(0, elems, tag, &mut work);
+        assert!(arena.valid(0, tag));
+        assert!(!arena.valid(0, SlotTag::Frontier(1, 8)), "stale generation");
+        assert!(!arena.valid(1, tag), "other slot untouched");
+        assert_eq!(arena.len(0), 3);
+        for (id, expect) in [(3u32, true), (4, false), (64, true), (130, true), (129, false)] {
+            assert_eq!(crate::setops::reuse_bit(arena.words(0), VertexId(id)), expect, "{id}");
+        }
+        assert_eq!(work.prefix_builds, 1);
+        assert_eq!(work.setop_iterations, 0, "the scatter is index construction, not SIU cycles");
+        // 3 elems * 4 bytes + ceil(200/64)=4 words * 8 bytes.
+        assert_eq!(work.reuse_bytes_hwm, 3 * 4 + 4 * 8);
+
+        arena.reset_task();
+        assert!(!arena.valid(0, tag));
+        assert_eq!(arena.len(0), 0);
+        assert!(arena.words(0).iter().all(|&w| w == 0), "bits cleared via elems");
+    }
+
+    #[test]
+    fn budget_refuses_oversized_builds_but_frees_replaced_bytes() {
+        // Budget fits exactly one slot bitmap (1 word) plus a few elems.
+        let mut arena = ReuseArena::new(2, 20, 64);
+        let mut work = WorkCounters::default();
+        let mut elems = arena.begin_build(0, 2).expect("8 + 8 <= 20");
+        elems.extend_from_slice(&vids(&[1, 2]));
+        arena.commit(0, elems, SlotTag::Epoch(0), &mut work);
+        // A second slot would need 8 more bitmap bytes: 16 + 8 > 20.
+        assert!(arena.begin_build(1, 0).is_none(), "over budget");
+        // Rebuilding the *same* slot frees its old charge first.
+        let mut elems = arena.begin_build(0, 3).expect("replacement fits");
+        elems.extend_from_slice(&vids(&[5]));
+        arena.commit(0, elems, SlotTag::Epoch(1), &mut work);
+        assert!(arena.valid(0, SlotTag::Epoch(1)));
+        assert!(!crate::setops::reuse_bit(arena.words(0), VertexId(1)), "old bits cleared");
+        assert!(crate::setops::reuse_bit(arena.words(0), VertexId(5)));
+        // The gauge is the task peak, not the current charge.
+        assert_eq!(work.reuse_bytes_hwm, 16);
+    }
+}

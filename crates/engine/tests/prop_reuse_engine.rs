@@ -1,0 +1,85 @@
+//! Engine-level reuse on/off differential suite.
+//!
+//! A compact twin of the workspace-level `tests/prop_reuse.rs` that lives
+//! in `fm-engine` so it runs under **both** feature configurations CI
+//! builds — default (SIMD kernels) and `--no-default-features` (the
+//! scalar tail every non-x86 target compiles). The reuse tier sits above
+//! the kernel tier, so its on/off parity must hold regardless of which
+//! kernels serve the dispatches it declines.
+
+use fm_engine::{mine, EngineConfig, RunStatus};
+use fm_graph::generators;
+use fm_pattern::Pattern;
+use fm_plan::{compile, CompileOptions};
+use proptest::prelude::*;
+
+fn patterns() -> Vec<Pattern> {
+    vec![
+        Pattern::triangle(),
+        Pattern::cycle(4),
+        Pattern::diamond(),
+        Pattern::house(),
+        Pattern::k_clique(4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Counts, status, invocations, and the five-tier partition are
+    /// invariant under the reuse toggle on random power-law graphs.
+    #[test]
+    fn reuse_toggle_is_result_invisible(
+        n in 20usize..80,
+        m in 2usize..=4,
+        seed in any::<u64>(),
+        four_threads in any::<bool>(),
+    ) {
+        let threads = if four_threads { 4 } else { 1 };
+        let g = generators::powerlaw_cluster(n, m, 0.5, seed);
+        for pattern in patterns() {
+            let plan = compile(&pattern, CompileOptions::default());
+            let on = EngineConfig { threads, reuse: true, ..EngineConfig::default() };
+            let off = EngineConfig { reuse: false, ..on };
+            let r_on = mine(&g, &plan, &on);
+            let r_off = mine(&g, &plan, &off);
+            prop_assert_eq!(&r_on.counts, &r_off.counts, "{}", pattern);
+            prop_assert_eq!(r_on.status, RunStatus::Complete);
+            prop_assert_eq!(r_on.status, r_off.status);
+            prop_assert_eq!(r_on.work.extensions, r_off.work.extensions, "{}", pattern);
+            prop_assert_eq!(
+                r_on.work.setop_invocations, r_off.work.setop_invocations,
+                "a served dispatch charges exactly one invocation: {}", pattern
+            );
+            for w in [&r_on.work, &r_off.work] {
+                prop_assert_eq!(
+                    w.merge_dispatches
+                        + w.gallop_dispatches
+                        + w.probe_dispatches
+                        + w.simd_dispatches
+                        + w.reuse_hits,
+                    w.setop_invocations,
+                    "tier partition: {}", pattern
+                );
+            }
+            prop_assert_eq!(r_off.work.reuse_hits, 0);
+            prop_assert_eq!(r_off.work.prefix_builds, 0);
+            prop_assert_eq!(r_off.work.reuse_bytes_hwm, 0);
+        }
+    }
+
+    /// A zero-byte arena budget is bit-identical — counts *and* full
+    /// `WorkCounters` — to disabling the tier.
+    #[test]
+    fn zero_budget_equals_tier_off(n in 20usize..80, seed in any::<u64>()) {
+        let g = generators::powerlaw_cluster(n, 3, 0.5, seed);
+        let plan = compile(&Pattern::cycle(4), CompileOptions::default());
+        let zero = EngineConfig { reuse: true, reuse_memory_budget: 0, ..EngineConfig::default() };
+        let off = EngineConfig { reuse: false, ..EngineConfig::default() };
+        prop_assert!(!zero.reuse_active());
+        let r_zero = mine(&g, &plan, &zero);
+        let r_off = mine(&g, &plan, &off);
+        prop_assert_eq!(&r_zero.counts, &r_off.counts);
+        prop_assert_eq!(r_zero.work, r_off.work);
+    }
+}
